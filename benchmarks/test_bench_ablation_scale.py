@@ -1,0 +1,34 @@
+"""ABL-SCALE — does the benefit survive beyond 26 devices?
+
+Fleet-size sweep at constant per-device request rate; the coordinated
+advantage must not vanish as the HAN grows past the paper's testbed size.
+"""
+
+import pytest
+
+from repro.experiments import scale_sweep
+from repro.sim.units import MINUTE
+
+HORIZON = 180 * MINUTE
+COUNTS = (10, 26, 40, 60)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_scale_sweep(benchmark, record_figure):
+    figure = benchmark.pedantic(
+        lambda: scale_sweep(device_counts=COUNTS, seeds=(1, 2),
+                            horizon=HORIZON),
+        rounds=1, iterations=1)
+    record_figure(figure)
+    data = figure.data
+
+    for n in COUNTS:
+        # coordination wins at every size
+        assert data[n]["peak_with"] < data[n]["peak_wo"], n
+        assert data[n]["peak_reduction_pct"] > 10.0, n
+    # absolute peaks scale with the fleet
+    assert data[60]["peak_wo"] > data[10]["peak_wo"]
+
+    for n in COUNTS:
+        benchmark.extra_info[f"reduction_at_{n}"] = round(
+            data[n]["peak_reduction_pct"], 1)

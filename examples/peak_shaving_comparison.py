@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Three architectures, one failure: why decentralized wins.
+
+Runs the same workload under
+
+* **uncoordinated** duty cycling (the paper's baseline),
+* a **centralized** scheduler (the classic HAN architecture, here with a
+  zero-latency transport — its best case), and
+* the paper's **coordinated** decentralized scheme,
+
+then kills one node halfway through: the controller for the centralized
+system, an ordinary DI for the decentralized one.
+
+Usage::
+
+    python examples/peak_shaving_comparison.py [--quick]
+"""
+
+import sys
+
+from repro.analysis import format_table
+from repro.core import HanConfig, HanSystem
+from repro.sim.units import MINUTE
+from repro.workloads import paper_scenario
+
+
+def run_with_failure(policy: str, fail_at: float, horizon: float,
+                     seed: int = 3):
+    config = HanConfig(scenario=paper_scenario("high"), policy=policy,
+                       cp_fidelity="ideal" if policy == "centralized"
+                       else "round", seed=seed)
+    system = HanSystem(config)
+
+    if policy == "centralized":
+        def kill(sim):
+            yield sim.timeout(fail_at)
+            system.controller.fail()
+            print(f"  t={sim.now / MINUTE:.0f} min: controller died")
+        system.sim.spawn(kill(system.sim))
+    elif policy == "coordinated":
+        def kill(sim):
+            yield sim.timeout(fail_at)
+            system.cp.fail_node(0)
+            print(f"  t={sim.now / MINUTE:.0f} min: DI 0 died")
+        system.sim.spawn(kill(system.sim))
+
+    return system.run(until=horizon)
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    horizon = (150 if quick else 350) * MINUTE
+    fail_at = horizon / 2
+
+    rows = []
+    for policy in ("uncoordinated", "centralized", "coordinated"):
+        print(f"running {policy} ...")
+        result = run_with_failure(policy, fail_at, horizon)
+        stats = result.stats(end=horizon)
+        before = [r for r in result.requests if r.arrival_time < fail_at]
+        after = [r for r in result.requests
+                 if fail_at <= r.arrival_time < horizon - 35 * MINUTE
+                 and r.device_id != 0]
+        admitted_after = sum(1 for r in after if r.admitted_at is not None)
+        rows.append([
+            policy, stats.peak_kw, stats.std_kw,
+            f"{sum(1 for r in before if r.admitted_at)}/{len(before)}",
+            f"{admitted_after}/{len(after)}",
+        ])
+
+    print()
+    print(format_table(
+        ["policy", "peak kW", "std kW", "admitted before failure",
+         "admitted after failure"],
+        rows,
+        title=f"Peak shaving + failure at t={fail_at / MINUTE:.0f} min"))
+    print("\nThe centralized architecture stops admitting the moment its "
+          "controller dies;\nthe decentralized fleet keeps operating "
+          "(only the dead DI's own device is lost).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""A realistic smart home day: catalog appliances, thermal physics, tariffs.
+
+Goes beyond the paper's synthetic 26 x 1 kW fleet:
+
+* Type-2 appliances come from the catalog (ACs, water heater, pool pump,
+  fridge) with their real power ratings;
+* the duty-cycle constraints are *derived* from a first-order thermal
+  model of a hot afternoon (the paper's §II observation that maxDCP
+  shrinks as the thermal load grows);
+* Type-1 devices (TV, lighting, microwave, hair dryer) add an
+  uncontrollable background load;
+* requests follow a bursty MMPP (calm/busy) process — evenings are busy;
+* an evening-peak time-of-use tariff prices both load profiles.
+
+Usage::
+
+    python examples/smart_home_day.py [--quick]
+"""
+
+import sys
+from dataclasses import replace
+
+from repro.analysis import format_table, percent_reduction, sparkline
+from repro.core import HanConfig, HanSystem
+from repro.han import (
+    ThermalParams,
+    TYPE1_CATALOG,
+    derive_duty_spec,
+    evening_peak_tariff,
+    lookup,
+)
+from repro.han.appliance import Type1Appliance
+from repro.sim.units import HOUR, MINUTE
+from repro.workloads import Scenario
+
+
+def derive_constraints() -> None:
+    """Show the thermal derivation of the scheduling constraints."""
+    # A well-insulated room cooled by a 1.5 kW(el) AC moving ~3 kW(th).
+    room = ThermalParams(capacitance_j_per_k=3.0e6,
+                         resistance_k_per_w=0.009,
+                         appliance_heat_w=-3000.0)
+    rows = []
+    for ambient in (30.0, 35.0, 40.0):
+        spec = derive_duty_spec(room, target_c=24.0, ambient_c=ambient,
+                                min_dcd=15 * MINUTE,
+                                max_period_cap=2 * HOUR)
+        rows.append([f"{ambient:.0f} C", f"{spec.min_dcd / MINUTE:.0f} min",
+                     f"{spec.max_dcp / MINUTE:.0f} min"])
+    print(format_table(
+        ["ambient", "minDCD", "maxDCP"], rows,
+        title="Thermal derivation (paper §II: hotter day -> shorter "
+              "maxDCP)"))
+    print()
+
+
+def background_load(system: HanSystem, quick: bool) -> None:
+    """Type-1 devices: instant-start, not schedulable, just metered."""
+    sim = system.sim
+    schedule = [
+        ("television", 18.5 * HOUR, 3.0 * HOUR),
+        ("lighting", 18.0 * HOUR, 5.0 * HOUR),
+        ("microwave", 19.0 * HOUR, 10 * MINUTE),
+        ("hair_dryer", 7.5 * HOUR, 8 * MINUTE),
+        ("ceiling_fan", 13.0 * HOUR, 6.0 * HOUR),
+    ]
+    for i, (name, start, duration) in enumerate(schedule):
+        entry = TYPE1_CATALOG[name]
+        appliance = Type1Appliance(sim, 1000 + i, name, entry.power_w,
+                                   meter=system.meter.gauge)
+
+        def run(sim, appliance=appliance, start=start, duration=duration):
+            if start > sim.now:
+                yield sim.timeout(start - sim.now)
+            yield from appliance.run_for(duration)
+
+        sim.spawn(run(sim), name=f"type1-{name}")
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    derive_constraints()
+
+    horizon = (6 if quick else 24) * HOUR
+    # The schedulable fleet: two ACs, a water heater, a pool pump, two
+    # fridges and an EV charger — modelled at the paper's 15/30 spec
+    # (the derivation above shows that is the right hot-day ballpark).
+    fleet_power = [lookup("air_conditioner").power_w,
+                   lookup("air_conditioner").power_w,
+                   lookup("water_heater").power_w,
+                   lookup("pool_pump").power_w,
+                   lookup("fridge").power_w,
+                   lookup("fridge").power_w,
+                   lookup("ev_charger").power_w]
+    scenario = Scenario(name="smart-home-day",
+                        n_devices=len(fleet_power),
+                        device_power_w=1.0,  # replaced per device below
+                        arrival_rate_per_hour=6.0,
+                        arrival_kind="mmpp",
+                        horizon=horizon)
+
+    tariff = evening_peak_tariff(base=0.12, peak=0.38)
+    results = {}
+    for policy in ("uncoordinated", "coordinated"):
+        config = HanConfig(scenario=scenario, policy=policy,
+                           cp_fidelity="ideal", seed=11,
+                           topology_name="home")
+        system = HanSystem(config)
+        for device_id, power in enumerate(fleet_power):
+            system.appliances[device_id].power_w = power
+        background_load(system, quick)
+        results[policy] = system.run(until=horizon)
+
+    rows = []
+    for policy, result in results.items():
+        stats = result.stats(end=horizon)
+        cost = tariff.cost(result.load_w, 0.0, horizon)
+        rows.append([policy, stats.peak_kw, stats.mean_kw, stats.std_kw,
+                     stats.energy_kwh, f"${cost:.2f}"])
+    print(format_table(
+        ["policy", "peak kW", "mean kW", "std kW", "kWh", "TOU cost"],
+        rows, title=f"One {'(quick) ' if quick else ''}day, catalog fleet "
+                    "+ Type-1 background"))
+
+    print()
+    for policy, result in results.items():
+        _t, values = result.load_w.sample_grid(0.0, horizon, 5 * MINUTE)
+        print(f"{policy:>14}: {sparkline(list(values), width=72)}")
+
+    with_stats = results["coordinated"].stats(end=horizon)
+    wo_stats = results["uncoordinated"].stats(end=horizon)
+    print(f"\npeak reduction {percent_reduction(wo_stats.peak_kw, with_stats.peak_kw):.1f}%, "
+          f"variation reduction {percent_reduction(wo_stats.std_kw, with_stats.std_kw):.1f}% "
+          "on a heterogeneous fleet with background load")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Collaborative Load Management in Smart Home Area Networks.
+
+A from-scratch reproduction of Debadarshini & Saha (ICDCS 2022,
+arXiv:2207.04733): a decentralized HAN in which Device Interfaces share
+state over Synchronous-Transmission rounds (MiniCast) and collaboratively
+stagger the duty cycles of power-hungry Type-2 appliances, cutting peak
+load and load variance without deferring energy.
+
+Quickstart::
+
+    from repro import HanConfig, run_experiment
+    from repro.workloads import paper_scenario
+
+    result = run_experiment(HanConfig(scenario=paper_scenario("high"),
+                                      policy="coordinated", seed=1))
+    print(result.stats().peak_kw)
+"""
+
+from repro.core import (
+    HanConfig,
+    HanSystem,
+    RunResult,
+    run_experiment,
+)
+from repro.workloads import PAPER_RATES, Scenario, paper_scenario
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HanConfig",
+    "HanSystem",
+    "PAPER_RATES",
+    "RunResult",
+    "Scenario",
+    "paper_scenario",
+    "run_experiment",
+    "__version__",
+]

@@ -1,0 +1,47 @@
+"""Load-profile analysis and plain-text reporting."""
+
+from repro.analysis.loadstats import (
+    ComparisonResult,
+    LoadStats,
+    coefficient_of_variation,
+    load_stats,
+    mean_and_std,
+    peak_to_average_ratio,
+    percent_reduction,
+    ramp_events,
+    relative_difference,
+)
+from repro.analysis.export import (
+    multi_series_to_csv,
+    requests_to_csv,
+    run_result_to_json,
+    series_to_csv,
+    stats_to_dict,
+)
+from repro.analysis.report import (
+    format_table,
+    render_series,
+    side_by_side_series,
+    sparkline,
+)
+
+__all__ = [
+    "ComparisonResult",
+    "LoadStats",
+    "coefficient_of_variation",
+    "format_table",
+    "load_stats",
+    "mean_and_std",
+    "multi_series_to_csv",
+    "peak_to_average_ratio",
+    "percent_reduction",
+    "ramp_events",
+    "relative_difference",
+    "render_series",
+    "requests_to_csv",
+    "run_result_to_json",
+    "series_to_csv",
+    "side_by_side_series",
+    "sparkline",
+    "stats_to_dict",
+]

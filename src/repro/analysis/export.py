@@ -1,0 +1,143 @@
+"""Exporting results to CSV / JSON for external analysis and plotting.
+
+The simulator deliberately has no plotting dependencies; these writers
+produce files any plotting stack (gnuplot, matplotlib, a spreadsheet) can
+consume to redraw the paper's figures.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.loadstats import LoadStats
+from repro.sim.monitor import StepSeries
+
+
+def series_to_csv(series: StepSeries, path: str | Path,
+                  start: float, end: float, step: float,
+                  time_scale: float = 60.0,
+                  value_scale: float = 1e-3,
+                  headers: tuple[str, str] = ("time_min", "load_kw"),
+                  ) -> Path:
+    """Sample a step series onto a grid and write ``time,value`` rows."""
+    path = Path(path)
+    grid, values = series.sample_grid(start, end, step)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for t, v in zip(grid, values):
+            writer.writerow([f"{t / time_scale:.4f}",
+                             f"{v * value_scale:.6f}"])
+    return path
+
+
+def multi_series_to_csv(series_map: dict[str, StepSeries],
+                        path: str | Path, start: float, end: float,
+                        step: float, time_scale: float = 60.0,
+                        value_scale: float = 1e-3) -> Path:
+    """Several series on one grid, one column each (Figure 2(a) format)."""
+    path = Path(path)
+    names = list(series_map)
+    sampled = {name: series_map[name].sample_grid(start, end, step)[1]
+               for name in names}
+    import numpy as np
+    grid = np.arange(start, end, step)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time_min", *names])
+        for i, t in enumerate(grid):
+            writer.writerow([f"{t / time_scale:.4f}",
+                             *(f"{sampled[n][i] * value_scale:.6f}"
+                               for n in names)])
+    return path
+
+
+def stats_to_dict(stats: LoadStats) -> dict:
+    """A JSON-ready view of one :class:`LoadStats`."""
+    return {
+        "peak_kw": stats.peak_kw,
+        "mean_kw": stats.mean_kw,
+        "std_kw": stats.std_kw,
+        "min_kw": stats.min_kw,
+        "max_step_kw": stats.max_step_kw,
+        "energy_kwh": stats.energy_kwh,
+        "p95_kw": stats.p95_kw,
+        "window": [stats.start, stats.end],
+    }
+
+
+def run_result_to_json(result, path: str | Path,
+                       sample_step: Optional[float] = 60.0) -> Path:
+    """Persist one :class:`~repro.core.system.RunResult` as JSON.
+
+    Includes the config, load statistics, an optional sampled load trace
+    and the per-request lifecycle log.
+    """
+    path = Path(path)
+    scenario = result.config.scenario
+    payload = {
+        "config": {
+            "scenario": scenario.name,
+            "n_devices": scenario.n_devices,
+            "device_power_w": scenario.device_power_w,
+            "min_dcd_s": scenario.min_dcd,
+            "max_dcp_s": scenario.max_dcp,
+            "arrival_rate_per_hour": scenario.arrival_rate_per_hour,
+            "policy": result.config.policy,
+            "cp_fidelity": result.config.cp_fidelity,
+            "seed": result.config.seed,
+            "horizon_s": result.horizon,
+        },
+        "stats": stats_to_dict(result.stats()),
+        "requests": [
+            {
+                "request_id": r.request_id,
+                "device_id": r.device_id,
+                "arrival_s": r.arrival_time,
+                "demand_cycles": r.demand_cycles,
+                "state": r.state.value,
+                "admitted_s": r.admitted_at,
+                "first_burst_s": r.first_burst_at,
+                "completed_s": r.completed_at,
+            }
+            for r in result.requests
+        ],
+    }
+    if result.cp_stats is not None:
+        payload["cp"] = {
+            "rounds_total": result.cp_stats.rounds_total,
+            "rounds_active": result.cp_stats.rounds_active,
+            "delivery_ratio": result.cp_stats.delivery_ratio,
+        }
+    if sample_step is not None:
+        grid, values = result.load_w.sample_grid(0.0, result.horizon,
+                                                 sample_step)
+        payload["load_trace"] = {
+            "time_s": [float(t) for t in grid],
+            "load_w": [float(v) for v in values],
+        }
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def requests_to_csv(result, path: str | Path) -> Path:
+    """Per-request lifecycle log as CSV (latency analysis)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["request_id", "device_id", "arrival_s",
+                         "demand_cycles", "state", "admitted_s",
+                         "first_burst_s", "completed_s", "wait_s"])
+        for r in result.requests:
+            writer.writerow([
+                r.request_id, r.device_id, r.arrival_time,
+                r.demand_cycles, r.state.value,
+                r.admitted_at if r.admitted_at is not None else "",
+                r.first_burst_at if r.first_burst_at is not None else "",
+                r.completed_at if r.completed_at is not None else "",
+                r.waiting_time if r.waiting_time is not None else "",
+            ])
+    return path

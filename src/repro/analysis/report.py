@@ -1,0 +1,86 @@
+"""Plain-text rendering of tables and series (no plotting dependencies).
+
+The benches print the same rows and series the paper's Figure 2 shows;
+these helpers keep that output readable in a terminal and in the recorded
+bench logs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.sim.monitor import StepSeries
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None, precision: int = 2) -> str:
+    """Render an aligned ASCII table."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.{precision}f}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("-+-".join("-" * w for w in widths))
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Compress a series into a one-line unicode sparkline."""
+    blocks = "▁▂▃▄▅▆▇█"
+    if not values:
+        return ""
+    if len(values) > width:
+        stride = len(values) / width
+        values = [values[int(i * stride)] for i in range(width)]
+    low, high = min(values), max(values)
+    if high == low:
+        return blocks[0] * len(values)
+    scale = (len(blocks) - 1) / (high - low)
+    return "".join(blocks[int((v - low) * scale)] for v in values)
+
+
+def render_series(series: StepSeries, start: float, end: float,
+                  step: float, label: str = "",
+                  value_scale: float = 1.0,
+                  time_scale: float = 60.0) -> str:
+    """Print a step series as `t value` rows (the Figure 2(a) data)."""
+    grid, values = series.sample_grid(start, end, step)
+    lines = [f"# {label}" if label else "# series"]
+    lines.append("# time\tvalue")
+    for t, v in zip(grid, values):
+        lines.append(f"{t / time_scale:.1f}\t{v * value_scale:.3f}")
+    return "\n".join(lines)
+
+
+def side_by_side_series(series_map: dict[str, StepSeries], start: float,
+                        end: float, step: float,
+                        value_scale: float = 1.0,
+                        time_scale: float = 60.0,
+                        time_label: str = "t_min") -> str:
+    """Multi-column rendering of several series on one time grid."""
+    names = list(series_map)
+    lines = ["\t".join([time_label, *names])]
+    sampled = {name: series_map[name].sample_grid(start, end, step)[1]
+               for name in names}
+    grid = np.arange(start, end, step)
+    for i, t in enumerate(grid):
+        row = [f"{t / time_scale:.1f}"]
+        row.extend(f"{sampled[name][i] * value_scale:.3f}" for name in names)
+        lines.append("\t".join(row))
+    return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""Command-line interface: regenerate any paper figure or ablation.
+
+Usage::
+
+    python -m repro fig2a [--seed 1] [--fidelity round]
+    python -m repro fig2b [--seeds 1 2 3]
+    python -m repro fig2c
+    python -m repro headline
+    python -m repro cp-trace [--rounds 25]
+    python -m repro ablation {cp-period,loss,scale,slots,variants,
+                              st-vs-at,spof}
+    python -m repro run --policy coordinated --rate 30 --seed 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.report import format_table
+from repro.core.system import FIDELITIES, POLICIES, HanConfig, run_experiment
+from repro.experiments import ablations, cp_trace, figures
+from repro.sim.units import MINUTE
+from repro.workloads.scenarios import paper_scenario
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
+    parser.add_argument("--fidelity", choices=FIDELITIES, default="round")
+    parser.add_argument("--horizon-min", type=float, default=None,
+                        help="override the 350 min horizon")
+
+
+def _horizon(args: argparse.Namespace) -> Optional[float]:
+    return args.horizon_min * MINUTE if args.horizon_min else None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Collaborative HAN load management — ICDCS'22 "
+                    "reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for figure in ("fig2a", "fig2b", "fig2c", "headline"):
+        p = sub.add_parser(figure, help=f"regenerate {figure}")
+        _add_common(p)
+
+    p = sub.add_parser("cp-trace", help="FIG1: slot-level CP measurements")
+    p.add_argument("--rounds", type=int, default=25)
+    p.add_argument("--seed", type=int, default=1)
+
+    p = sub.add_parser("ablation", help="run one ablation study")
+    p.add_argument("which", choices=["cp-period", "loss", "scale", "slots",
+                                     "variants", "st-vs-at", "spof"])
+    _add_common(p)
+
+    p = sub.add_parser("run", help="one custom experiment run")
+    _add_common(p)
+    p.add_argument("--policy", choices=POLICIES, default="coordinated")
+    p.add_argument("--rate", type=float, default=30.0,
+                   help="requests/hour")
+    p.add_argument("--devices", type=int, default=26)
+    p.add_argument("--export-json", metavar="PATH", default=None,
+                   help="write the full run result as JSON")
+
+    sub.add_parser("list", help="list every reproducible experiment")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    horizon = _horizon(args) if hasattr(args, "horizon_min") else None
+
+    if args.command == "fig2a":
+        print(figures.fig2a(seed=args.seed, cp_fidelity=args.fidelity,
+                            horizon=horizon).text)
+    elif args.command == "fig2b":
+        print(figures.fig2b(seeds=args.seeds, cp_fidelity=args.fidelity,
+                            horizon=horizon).text)
+    elif args.command == "fig2c":
+        print(figures.fig2c(seeds=args.seeds, cp_fidelity=args.fidelity,
+                            horizon=horizon).text)
+    elif args.command == "headline":
+        print(figures.headline_numbers(seeds=args.seeds,
+                                       cp_fidelity=args.fidelity).text)
+    elif args.command == "cp-trace":
+        print(cp_trace.trace_cp(rounds=args.rounds, seed=args.seed).text)
+    elif args.command == "ablation":
+        runner = {
+            "cp-period": lambda: ablations.cp_period_sweep(
+                seeds=args.seeds, horizon=horizon),
+            "loss": lambda: ablations.loss_sweep(
+                seeds=args.seeds, horizon=horizon),
+            "scale": lambda: ablations.scale_sweep(
+                seeds=args.seeds, horizon=horizon),
+            "slots": lambda: ablations.slots_sweep(
+                seeds=args.seeds, horizon=horizon),
+            "variants": lambda: ablations.scheduler_variants(
+                seeds=args.seeds, horizon=horizon),
+            "st-vs-at": lambda: ablations.st_vs_at(seed=args.seed),
+            "spof": lambda: ablations.spof_comparison(
+                seed=args.seed, horizon=horizon),
+        }[args.which]
+        print(runner().text)
+    elif args.command == "run":
+        scenario = paper_scenario("high").with_rate(args.rate)
+        if args.devices != scenario.n_devices:
+            from dataclasses import replace
+            scenario = replace(scenario, n_devices=args.devices)
+        result = run_experiment(
+            HanConfig(scenario=scenario, policy=args.policy,
+                      cp_fidelity=args.fidelity, seed=args.seed),
+            until=horizon)
+        stats = result.stats(end=horizon)
+        print(format_table(
+            ["metric", "value"],
+            [["policy", args.policy],
+             ["peak load", f"{stats.peak_kw:.2f} kW"],
+             ["average load", f"{stats.mean_kw:.2f} kW"],
+             ["load std-dev", f"{stats.std_kw:.2f} kW"],
+             ["largest load step", f"{stats.max_step_kw:.2f} kW"],
+             ["energy", f"{stats.energy_kwh:.2f} kWh"],
+             ["requests", len(result.requests)],
+             ["completed", result.completed_requests()]],
+            title=f"run: {scenario.name}, seed {args.seed}"))
+        if args.export_json:
+            from repro.analysis.export import run_result_to_json
+            path = run_result_to_json(result, args.export_json)
+            print(f"result written to {path}")
+    elif args.command == "list":
+        from repro.experiments.registry import all_experiments
+        rows = [[e.exp_id, e.paper_artefact, e.description]
+                for e in all_experiments()]
+        print(format_table(["id", "paper artefact", "description"], rows,
+                           title="Reproducible experiments "
+                                 "(see DESIGN.md / EXPERIMENTS.md)"))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,218 @@
+"""Baseline policies: uncoordinated duty cycling and a central controller.
+
+* :class:`UncoordinatedAgent` — the paper's "w/o coordination" baseline:
+  a request starts its device immediately; the device free-runs its duty
+  cycle (ON ``minDCD``, OFF ``maxDCP − minDCD``) with phase fixed by the
+  arrival instant.  Simultaneous requests stack, producing the load spikes
+  Figure 2(a) shows.
+* :class:`CentralController` + :class:`CentralizedAgent` — the conventional
+  architecture the introduction critiques: requests travel to one
+  controller (over any transport: AT collection tree or function calls),
+  which runs the *same* admission algorithm and pushes schedules back.
+  Used by the ST-vs-AT and single-point-of-failure ablations.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.coordinator import DeviceAgentBase
+from repro.core.scheduler import (
+    AdmissionDecision,
+    SchedulerConfig,
+    plan_admissions,
+)
+from repro.core.state import CpItem, DeviceStatus, SharedView
+from repro.han.appliance import Type2Appliance
+from repro.han.requests import RequestAnnouncement, UserRequest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class UncoordinatedAgent(DeviceAgentBase):
+    """Immediate, phase-anchored duty cycling (no coordination)."""
+
+    def on_request(self, request: UserRequest) -> None:
+        """Start executing right away; extend demand if already running."""
+        self.requests[request.request_id] = request
+        was_active = self._active
+        self._enqueue_demand(request.request_id, request.demand_cycles,
+                             extends=was_active)
+        self._last_admitted = max(self._last_admitted, request.request_id)
+        if not was_active:
+            self._active = True
+            self._next_burst = self.sim.now  # starts immediately
+            self.sim.spawn(self._free_run(),
+                           name=f"freerun-{self.device_id}")
+        self._bump_status()
+
+    def _free_run(self):
+        """ON minDCD / OFF (maxDCP − minDCD), phase set by arrival."""
+        spec = self.config.spec
+        while self._remaining > 0:
+            burst_start = self.sim.now
+            self.device.turn_on()
+            yield self.sim.timeout(spec.min_dcd)
+            self.device.turn_off()
+            self._account_burst(burst_start)
+            if self._remaining > 0:
+                self._next_burst = burst_start + spec.max_dcp
+                self._bump_status()
+                yield self.sim.timeout(spec.max_dcp - spec.min_dcd)
+            else:
+                self._bump_status()
+        self._finish_if_done()
+        self._bump_status()
+
+    # -- CP application interface (status monitoring only) ---------------------------
+
+    def cp_payload(self, node: int, round_index: int) -> Optional[CpItem]:
+        if round_index == -1 or self._dirty:
+            self._dirty = False
+            return self.item()
+        return None
+
+    def cp_deliver(self, node: int, packets: dict[int, CpItem],
+                   round_index: int) -> None:
+        self.view.merge_items(packets.values())
+
+
+class CentralController:
+    """Authoritative scheduler living at one node.
+
+    Transport-agnostic: the owner wires :meth:`on_report` to whatever
+    carries reports upward and supplies ``disseminate`` for pushing
+    decisions downward (e.g. :class:`repro.mac.CollectionNetwork`).
+
+    DIs remain the only writers of their own :class:`DeviceStatus`; the
+    controller keeps *planning overlays* — statuses it expects DIs to adopt
+    once a schedule arrives — and drops each overlay as soon as the DI's
+    own report catches up.  This avoids two version counters fighting over
+    one view entry.
+    """
+
+    def __init__(self, config: SchedulerConfig,
+                 disseminate: Callable[[int, object], None],
+                 now: Callable[[], float]):
+        self.config = config
+        self.disseminate = disseminate
+        self.now = now
+        self.view = SharedView()
+        self._overlays: dict[int, DeviceStatus] = {}
+        self.version = 0
+        self.alive = True
+        self.decisions_made = 0
+
+    def on_report(self, origin: int, payload: object) -> None:
+        """Fold one upward report in and reschedule if needed."""
+        if not self.alive:
+            return
+        kind, body = payload
+        if kind == "status":
+            self.view.merge_item(CpItem(body))
+            overlay = self._overlays.get(body.device_id)
+            if (overlay is not None and body.last_admitted_request
+                    >= overlay.last_admitted_request):
+                del self._overlays[body.device_id]
+            return
+        if kind != "request":
+            raise ValueError(f"unknown report kind {kind!r}")
+        announcement: RequestAnnouncement = body
+        planning = self._planning_view()
+        planning.pending[announcement.request_id] = announcement
+        decisions = plan_admissions(planning, self.config, self.now())
+        if not decisions:
+            return
+        for decision in decisions:
+            pending = planning.pending.get(decision.request_id)
+            self._record_overlay(decision,
+                                 pending.power_w if pending else 0.0)
+        self.decisions_made += len(decisions)
+        self.version += 1
+        self.disseminate(self.version, tuple(decisions))
+
+    def _planning_view(self) -> SharedView:
+        """Reported statuses with unconfirmed overlays layered on top."""
+        planning = SharedView()
+        planning.statuses = dict(self.view.statuses)
+        planning.pending = dict(self.view.pending)
+        for device_id, overlay in self._overlays.items():
+            reported = planning.statuses.get(device_id)
+            if (reported is None or reported.last_admitted_request
+                    < overlay.last_admitted_request):
+                planning.statuses[device_id] = overlay
+        return planning
+
+    def _record_overlay(self, decision: AdmissionDecision,
+                        power_hint: float) -> None:
+        base = self._overlays.get(decision.device_id) \
+            or self.view.status_of(decision.device_id)
+        power = max(base.power_w if base else 0.0, power_hint)
+        remaining = (base.remaining_cycles if base else 0) \
+            + decision.demand_cycles
+        if base is not None and base.active:
+            slot = base.assigned_slot
+            burst = base.burst_start
+        else:
+            slot = decision.slot
+            burst = decision.start_time
+        if slot is None and burst is None:
+            burst = self.now()  # defensive: keep the status well-formed
+        version = (base.version if base else 0) + 1
+        self._overlays[decision.device_id] = DeviceStatus(
+            device_id=decision.device_id,
+            version=version,
+            active=True,
+            remaining_cycles=remaining,
+            assigned_slot=slot,
+            power_w=power,
+            last_admitted_request=decision.request_id,
+            burst_start=burst)
+
+    def fail(self) -> None:
+        """Single point of failure, exercised by the ablation."""
+        self.alive = False
+
+
+class CentralizedAgent(DeviceAgentBase):
+    """DI obeying a central controller: report up, follow schedules down."""
+
+    def __init__(self, sim: "Simulator", device: Type2Appliance,
+                 config: SchedulerConfig,
+                 submit: Callable[[int, object], None]):
+        super().__init__(sim, device, config)
+        self.submit = submit
+
+    def on_request(self, request: UserRequest) -> None:
+        self.requests[request.request_id] = request
+        announcement = RequestAnnouncement.of(request,
+                                              power_w=self.device.power_w)
+        self.submit(self.device_id, ("request", announcement))
+
+    def on_schedule(self, decisions: tuple[AdmissionDecision, ...]) -> None:
+        """Apply the controller's decisions that concern this device."""
+        changed = False
+        for decision in decisions:
+            if decision.device_id != self.device_id:
+                continue
+            if decision.request_id <= self._last_admitted:
+                continue  # duplicate dissemination
+            self._apply_decision(decision)
+            changed = True
+        if changed:
+            self._bump_status()
+
+    def _bump_status(self) -> None:
+        super()._bump_status()
+        # Keep the controller's load projection fresh.
+        self.submit(self.device_id, ("status", self.status()))
+
+    # -- CP interface (unused under the AT transport, present for symmetry) -------
+
+    def cp_payload(self, node: int, round_index: int) -> Optional[CpItem]:
+        return None
+
+    def cp_deliver(self, node: int, packets: dict[int, CpItem],
+                   round_index: int) -> None:
+        self.view.merge_items(packets.values())

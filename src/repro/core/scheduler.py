@@ -1,0 +1,308 @@
+"""The collaborative duty-cycle scheduling algorithm (the contribution).
+
+Deterministic and side-effect free: every DI runs exactly this code on its
+:class:`~repro.core.state.SharedView`; identical views yield identical
+decisions, which is what makes the scheme decentralized yet coherent.
+
+The algorithm (paper §II) admits requests **one by one** in
+``(arrival, id)`` order and guarantees every active and newly requested
+device at least one ``minDCD`` execution inside every ``maxDCP`` window.
+Two placement modes implement the "coordinate the ON periods" step:
+
+* ``"stagger"`` (default, the paper's behaviour) — each admitted device
+  claims a concrete burst start inside ``[now, now + maxDCP − minDCD]``,
+  chosen to minimise the projected peak concurrent load; while demand
+  remains the burst recurs every ``maxDCP``.  Starts therefore interleave
+  one by one and total load moves in single-device steps.
+* ``"grid"`` (ablation variant) — time is a grid of ``maxDCP`` epochs
+  split into ``minDCD`` slots; each device owns the least-loaded slot
+  position.  Simpler, but synchronises switching at slot boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.state import DeviceStatus, SharedView
+from repro.han.dutycycle import DutyCycleGrid, DutyCycleSpec
+from repro.han.requests import RequestAnnouncement
+
+MODES = ("stagger", "grid")
+DEFERRALS = ("period", "strict")
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """What the scheduler decided for one pending request."""
+
+    request_id: int
+    device_id: int
+    #: True when the request extends an already-active device
+    extends: bool
+    demand_cycles: int
+    #: claimed burst start (stagger mode; None when extending)
+    start_time: Optional[float] = None
+    #: claimed slot position (grid mode)
+    slot: Optional[int] = None
+
+
+@dataclass
+class SchedulerConfig:
+    """Knobs of the collaborative scheduler."""
+
+    spec: DutyCycleSpec
+    mode: str = "stagger"
+    grid_origin: float = 0.0
+    #: weigh devices by power (True) or count (False) when balancing
+    balance_by_power: bool = True
+    #: how late a first burst may start relative to the request:
+    #: "period" — the burst *starts* within maxDCP (default; the paper's
+    #: "execution ... within a single period of maxDCP");
+    #: "strict" — the burst also *completes* within maxDCP.
+    deferral: str = "period"
+    #: placement granularity guard for float comparisons, seconds
+    epsilon: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
+        if self.deferral not in DEFERRALS:
+            raise ValueError(
+                f"deferral must be one of {DEFERRALS}, got {self.deferral!r}")
+
+    @property
+    def start_latitude(self) -> float:
+        """Latest admissible burst start, relative to admission time."""
+        if self.deferral == "strict":
+            return self.spec.max_dcp - self.spec.min_dcd
+        return self.spec.max_dcp
+
+    def make_grid(self) -> DutyCycleGrid:
+        return DutyCycleGrid(self.spec, self.grid_origin)
+
+
+def plan_admissions(view: SharedView, config: SchedulerConfig,
+                    now: float) -> list[AdmissionDecision]:
+    """Decide placements for every pending request in ``view``.
+
+    Pure function of ``(view, config, now)``: DIs holding the same view at
+    the same CP round derive the same plan.  Requests are processed in the
+    paper's one-by-one ``(arrival, id)`` order; requests for already-active
+    devices extend demand without moving the claim.
+    """
+    if config.mode == "grid":
+        return _plan_grid(view, config, now)
+    return _plan_stagger(view, config, now)
+
+
+# ---------------------------------------------------------------------------
+# stagger mode
+# ---------------------------------------------------------------------------
+
+def _claimed_intervals(view: SharedView, config: SchedulerConfig,
+                       horizon_start: float,
+                       horizon_end: float) -> list[tuple[float, float, float]]:
+    """Projected ``(start, end, power)`` bursts of active devices.
+
+    Each active device recurs every ``maxDCP`` from its claimed
+    ``burst_start`` for its remaining cycles; only the parts overlapping
+    the horizon matter for placement.
+    """
+    spec = config.spec
+    intervals: list[tuple[float, float, float]] = []
+    for status in view.active_statuses():
+        if status.burst_start is None:
+            continue
+        weight = status.power_w if config.balance_by_power else 1.0
+        for k in range(status.remaining_cycles):
+            start = status.burst_start + k * spec.max_dcp
+            end = start + spec.min_dcd
+            if end <= horizon_start:
+                continue
+            if start >= horizon_end:
+                break
+            intervals.append((start, end, weight))
+    return intervals
+
+
+def _window_peak(intervals: list[tuple[float, float, float]],
+                 u: float, duration: float) -> float:
+    """Maximum concurrent projected load inside ``[u, u + duration)``."""
+    window_end = u + duration
+    events: list[tuple[float, float]] = []
+    for start, end, weight in intervals:
+        lo = max(start, u)
+        hi = min(end, window_end)
+        if lo < hi:
+            events.append((lo, weight))
+            events.append((hi, -weight))
+    if not events:
+        return 0.0
+    events.sort()
+    peak = 0.0
+    level = 0.0
+    for _time, delta in events:
+        level += delta
+        peak = max(peak, level)
+    return peak
+
+
+def _pick_start(intervals: list[tuple[float, float, float]],
+                config: SchedulerConfig, now: float) -> float:
+    """Least-overlapping start in ``[now, now + latitude]``.
+
+    The sliding-window peak is piecewise constant in the start time ``u``,
+    changing only where the window boundary crosses a projected interval
+    edge; candidates are therefore ``now``, every in-window edge, every
+    edge minus ``minDCD``, and the midpoints between consecutive
+    breakpoints (plateau representatives).  Selection keys, in order:
+
+    1. smallest projected peak inside ``[u, u + minDCD)``,
+    2. no other claimed burst starting at the same instant — this keeps
+       total load moving in *single-device* steps (the paper's "load
+       increases in small steps"),
+    3. earliest ``u`` ("one by one": run as soon as the lull allows).
+    """
+    spec = config.spec
+    latest = now + config.start_latitude
+    breakpoints = {now, latest}
+    for start, end, _w in intervals:
+        for edge in (start, end, start - spec.min_dcd, end - spec.min_dcd):
+            if now < edge < latest:
+                breakpoints.add(edge)
+    ordered = sorted(breakpoints)
+    candidates = set(ordered)
+    for left, right in zip(ordered, ordered[1:]):
+        candidates.add((left + right) / 2.0)
+    existing_starts = {start for start, _end, _w in intervals}
+    best_u = now
+    best_key: Optional[tuple[float, int, float]] = None
+    for u in sorted(candidates):
+        collides = int(any(abs(u - s) < config.epsilon
+                           for s in existing_starts))
+        key = (_window_peak(intervals, u, spec.min_dcd), collides, u)
+        if best_key is None or key < best_key:
+            best_key = key
+            best_u = u
+    return best_u
+
+
+def _plan_stagger(view: SharedView, config: SchedulerConfig,
+                  now: float) -> list[AdmissionDecision]:
+    spec = config.spec
+    horizon_end = now + 2.0 * spec.max_dcp
+    intervals = _claimed_intervals(view, config, now, horizon_end)
+    decisions: list[AdmissionDecision] = []
+    planned: dict[int, AdmissionDecision] = {}
+    for announcement in view.pending_ordered():
+        status = view.status_of(announcement.device_id)
+        if status is not None and status.active:
+            decisions.append(AdmissionDecision(
+                request_id=announcement.request_id,
+                device_id=announcement.device_id,
+                extends=True,
+                demand_cycles=announcement.demand_cycles))
+            continue
+        earlier = planned.get(announcement.device_id)
+        if earlier is not None:
+            decisions.append(AdmissionDecision(
+                request_id=announcement.request_id,
+                device_id=announcement.device_id,
+                extends=True,
+                demand_cycles=announcement.demand_cycles))
+            continue
+        start = _pick_start(intervals, config, now)
+        weight = _weight_of(view, announcement, config)
+        for k in range(announcement.demand_cycles):
+            intervals.append((start + k * spec.max_dcp,
+                              start + k * spec.max_dcp + spec.min_dcd,
+                              weight))
+        decision = AdmissionDecision(
+            request_id=announcement.request_id,
+            device_id=announcement.device_id,
+            extends=False,
+            demand_cycles=announcement.demand_cycles,
+            start_time=start)
+        planned[announcement.device_id] = decision
+        decisions.append(decision)
+    return decisions
+
+
+# ---------------------------------------------------------------------------
+# grid mode
+# ---------------------------------------------------------------------------
+
+def slot_loads(view: SharedView, config: SchedulerConfig) -> list[float]:
+    """Projected concurrent load per slot position from claimed slots."""
+    loads = [0.0] * config.spec.slots_per_epoch
+    for status in view.active_statuses():
+        if status.assigned_slot is None:
+            continue
+        weight = status.power_w if config.balance_by_power else 1.0
+        loads[status.assigned_slot % len(loads)] += weight
+    return loads
+
+
+def _pick_slot(loads: list[float], grid: DutyCycleGrid, now: float) -> int:
+    """Least-loaded slot; ties broken by earliest next start, then index."""
+    best: Optional[tuple[float, float, int]] = None
+    for slot, load in enumerate(loads):
+        next_start = grid.slot_start(grid.occurrence_of_slot(slot, now))
+        key = (load, next_start, slot)
+        if best is None or key < best:
+            best = key
+    assert best is not None
+    return best[2]
+
+
+def _plan_grid(view: SharedView, config: SchedulerConfig,
+               now: float) -> list[AdmissionDecision]:
+    grid = config.make_grid()
+    loads = slot_loads(view, config)
+    decisions: list[AdmissionDecision] = []
+    planned_slots: dict[int, int] = {}
+    for announcement in view.pending_ordered():
+        status = view.status_of(announcement.device_id)
+        if status is not None and status.active:
+            decisions.append(AdmissionDecision(
+                request_id=announcement.request_id,
+                device_id=announcement.device_id,
+                extends=True,
+                demand_cycles=announcement.demand_cycles,
+                slot=status.assigned_slot))
+            continue
+        if announcement.device_id in planned_slots:
+            decisions.append(AdmissionDecision(
+                request_id=announcement.request_id,
+                device_id=announcement.device_id,
+                extends=True,
+                demand_cycles=announcement.demand_cycles,
+                slot=planned_slots[announcement.device_id]))
+            continue
+        slot = _pick_slot(loads, grid, now)
+        loads[slot] += _weight_of(view, announcement, config)
+        planned_slots[announcement.device_id] = slot
+        decisions.append(AdmissionDecision(
+            request_id=announcement.request_id,
+            device_id=announcement.device_id,
+            extends=False,
+            demand_cycles=announcement.demand_cycles,
+            slot=slot))
+    return decisions
+
+
+def _weight_of(view: SharedView, announcement: RequestAnnouncement,
+               config: SchedulerConfig) -> float:
+    if not config.balance_by_power:
+        return 1.0
+    status = view.status_of(announcement.device_id)
+    if status is not None and status.power_w > 0:
+        return status.power_w
+    return announcement.power_w
+
+
+def decisions_for_device(decisions: list[AdmissionDecision],
+                         device_id: int) -> list[AdmissionDecision]:
+    """The subset of a plan the owning DI actually applies."""
+    return [d for d in decisions if d.device_id == device_id]

@@ -1,0 +1,46 @@
+"""Experiment harness: paper figures, CP trace, ablations."""
+
+from repro.experiments.ablations import (
+    cp_period_sweep,
+    loss_sweep,
+    scale_sweep,
+    scheduler_variants,
+    slots_sweep,
+    spof_comparison,
+    st_vs_at,
+)
+from repro.experiments.cp_trace import CpTraceResult, trace_cp
+from repro.experiments.figures import (
+    FigureData,
+    fig2a,
+    fig2b,
+    fig2c,
+    headline_numbers,
+)
+from repro.experiments.runner import (
+    PolicyOutcome,
+    compare_policies,
+    sweep_rates,
+)
+from repro.experiments import registry
+
+__all__ = [
+    "CpTraceResult",
+    "FigureData",
+    "PolicyOutcome",
+    "compare_policies",
+    "cp_period_sweep",
+    "fig2a",
+    "fig2b",
+    "fig2c",
+    "headline_numbers",
+    "loss_sweep",
+    "scale_sweep",
+    "scheduler_variants",
+    "slots_sweep",
+    "registry",
+    "spof_comparison",
+    "st_vs_at",
+    "sweep_rates",
+    "trace_cp",
+]

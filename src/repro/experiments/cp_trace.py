@@ -1,0 +1,106 @@
+"""FIG1: the Communication Plane in action.
+
+Figure 1 of the paper sketches MiniCast rounds every 2 s carrying requests
+to every DI.  This experiment runs the slot-level CP on the FlockLab-like
+topology and reports per-round latency, all-to-all delivery, sync error and
+radio cost — the properties the scheduling layer builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.radio.clock import DriftingClock
+from repro.radio.energy import EnergyMeter
+from repro.radio.medium import FloodMedium
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RandomStreams
+from repro.radio.topology import flocklab26
+from repro.st.minicast import MiniCast, MiniCastConfig
+from repro.st.glossy import run_flood
+from repro.st.sync import SyncService
+
+
+@dataclass
+class CpTraceResult:
+    """Measured CP behaviour over a number of rounds."""
+
+    rounds: int
+    round_durations: list[float] = field(default_factory=list)
+    delivery_ratios: list[float] = field(default_factory=list)
+    sync_errors_us: list[float] = field(default_factory=list)
+    energy_per_round_mj: float = 0.0
+    radio_duty_cycle: float = 0.0
+    text: str = ""
+
+    @property
+    def mean_duration_ms(self) -> float:
+        return 1e3 * float(np.mean(self.round_durations))
+
+    @property
+    def mean_delivery(self) -> float:
+        return float(np.mean(self.delivery_ratios))
+
+
+def trace_cp(rounds: int = 25, seed: int = 1, period: float = 2.0,
+             aggregation: int = 2, n_tx: int = 3,
+             drift_ppm_std: float = 20.0) -> CpTraceResult:
+    """Run ``rounds`` slot-level CP rounds and measure their behaviour."""
+    streams = RandomStreams(seed)
+    topo = flocklab26()
+    channel = topo.make_channel(rng=streams.stream("channel"))
+    medium = FloodMedium(channel, streams.stream("floods"))
+    config = MiniCastConfig(aggregation=aggregation)
+    sim = Simulator()
+    nodes = list(range(topo.n))
+    clocks = {i: DriftingClock(
+        sim, drift_ppm=float(streams.stream("drift").normal(
+            0.0, drift_ppm_std)))
+        for i in nodes}
+    sync = SyncService(clocks, streams.stream("sync"), config.flood)
+    minicast = MiniCast(medium, config)
+    energy = {i: EnergyMeter() for i in nodes}
+
+    result = CpTraceResult(rounds=rounds)
+
+    def round_process(sim: Simulator):
+        for _ in range(rounds):
+            beacon = run_flood(medium, nodes[0], nodes, config.flood)
+            sync.apply_flood(beacon)
+            reference = clocks[nodes[0]]
+            errors = [abs(clocks[n].error_vs(reference)) * 1e6
+                      for n in nodes if n != nodes[0]
+                      and n not in sync.stats.unsynced_nodes]
+            if errors:
+                result.sync_errors_us.append(float(np.max(errors)))
+            outcome = minicast.run_round(nodes, energy=energy)
+            result.round_durations.append(beacon.duration + outcome.duration)
+            result.delivery_ratios.append(outcome.delivery_ratio(nodes))
+            yield sim.timeout(period)
+
+    sim.spawn(round_process(sim))
+    sim.run()
+
+    elapsed = rounds * period
+    joules = [m.energy_joules() for m in energy.values()]
+    result.energy_per_round_mj = 1e3 * float(np.mean(joules)) / rounds
+    result.radio_duty_cycle = float(np.mean(
+        [m.radio_on_time for m in energy.values()])) / elapsed
+    result.text = format_table(
+        ["metric", "value"],
+        [["rounds", rounds],
+         ["round period (paper)", f"{period:.1f} s"],
+         ["mean round on-air time", f"{result.mean_duration_ms:.1f} ms"],
+         ["all-to-all delivery ratio", f"{result.mean_delivery:.4f}"],
+         ["worst sync error", (f"{max(result.sync_errors_us):.1f} us"
+                               if result.sync_errors_us else "n/a")],
+         ["radio energy / round / node",
+          f"{result.energy_per_round_mj:.2f} mJ"],
+         ["radio duty cycle", f"{100 * result.radio_duty_cycle:.2f} %"]],
+        title="FIG1: Communication Plane (slot-level MiniCast on "
+              "flocklab26)")
+    return result

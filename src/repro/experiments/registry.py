@@ -1,0 +1,102 @@
+"""A registry of every reproducible artefact in this repository.
+
+Maps experiment ids (DESIGN.md's experiment index) to the callables that
+regenerate them, so tooling — the CLI, docs generators, CI — can enumerate
+and run them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.experiments import ablations, cp_trace, figures
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One regenerable artefact."""
+
+    exp_id: str
+    paper_artefact: str
+    description: str
+    regenerate: Callable[..., object]
+    bench: str
+
+
+REGISTRY: dict[str, Experiment] = {}
+
+
+def _register(exp_id: str, paper_artefact: str, description: str,
+              regenerate: Callable[..., object], bench: str) -> None:
+    REGISTRY[exp_id] = Experiment(exp_id, paper_artefact, description,
+                                  regenerate, bench)
+
+
+_register(
+    "FIG2A", "Figure 2(a)",
+    "total system load vs time (350 min, 30 req/h), with vs w/o "
+    "coordination",
+    figures.fig2a, "benchmarks/test_bench_fig2a.py")
+_register(
+    "FIG2B", "Figure 2(b)",
+    "peak load vs arrival rate {4, 18, 30}/h, with vs w/o coordination",
+    figures.fig2b, "benchmarks/test_bench_fig2b.py")
+_register(
+    "FIG2C", "Figure 2(c)",
+    "average load with load-deviation bars vs arrival rate",
+    figures.fig2c, "benchmarks/test_bench_fig2c.py")
+_register(
+    "HEADLINE", "abstract / §III text",
+    "peak reduced up to 50%, variation up to 58%, average unchanged",
+    figures.headline_numbers, "benchmarks/test_bench_headline.py")
+_register(
+    "FIG1", "Figure 1",
+    "MiniCast Communication-Plane rounds every 2 s (latency, delivery, "
+    "sync, energy)",
+    cp_trace.trace_cp, "benchmarks/test_bench_cp_round.py")
+_register(
+    "ABL-CP-PERIOD", "design choice (2 s round period)",
+    "CP-period sweep: admission latency vs load shape",
+    ablations.cp_period_sweep,
+    "benchmarks/test_bench_ablation_cp_period.py")
+_register(
+    "ABL-LOSS", "robustness",
+    "path-loss sweep across the flood-delivery cliff",
+    ablations.loss_sweep, "benchmarks/test_bench_ablation_loss.py")
+_register(
+    "ABL-SCALE", "scalability",
+    "fleet-size sweep 10→60 devices at constant per-device rate",
+    ablations.scale_sweep, "benchmarks/test_bench_ablation_scale.py")
+_register(
+    "ABL-SLOTS", "sensitivity",
+    "minDCD/maxDCP working-point sweep",
+    ablations.slots_sweep, "benchmarks/test_bench_ablation_slots.py")
+_register(
+    "ABL-VARIANTS", "design choice (placement mode)",
+    "stagger vs grid placement; period vs strict deferral",
+    ablations.scheduler_variants,
+    "benchmarks/test_bench_ablation_variants.py")
+_register(
+    "ABL-ST-VS-AT", "introduction's motivation",
+    "ST vs AT stacks: energy, latency, request storms",
+    ablations.st_vs_at, "benchmarks/test_bench_st_vs_at.py")
+_register(
+    "ABL-SPOF", "introduction's motivation",
+    "controller death vs one-DI death",
+    ablations.spof_comparison,
+    "benchmarks/test_bench_ablation_variants.py")
+
+
+def get(exp_id: str) -> Experiment:
+    """Look up one experiment (KeyError lists the known ids)."""
+    try:
+        return REGISTRY[exp_id]
+    except KeyError:
+        known = ", ".join(sorted(REGISTRY))
+        raise KeyError(f"unknown experiment {exp_id!r}; known: {known}")
+
+
+def all_experiments() -> list[Experiment]:
+    """Every registered experiment, in id order."""
+    return [REGISTRY[key] for key in sorted(REGISTRY)]

@@ -1,0 +1,66 @@
+"""Experiment orchestration: policy comparisons over seed replications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.loadstats import LoadStats, load_stats, mean_and_std
+from repro.core.system import HanConfig, RunResult, run_experiment
+from repro.workloads.scenarios import Scenario
+
+
+@dataclass
+class PolicyOutcome:
+    """Per-policy aggregation over seeds."""
+
+    policy: str
+    results: list[RunResult] = field(default_factory=list)
+
+    def stats(self) -> list[LoadStats]:
+        return [r.stats() for r in self.results]
+
+    def metric(self, name: str) -> tuple[float, float]:
+        """Mean ± std of one LoadStats field across seeds."""
+        values = [getattr(s, name) for s in self.stats()]
+        return mean_and_std(values)
+
+    def waiting_time_mean(self) -> float:
+        waits: list[float] = []
+        for result in self.results:
+            waits.extend(result.waiting_times())
+        return float(np.mean(waits)) if waits else 0.0
+
+
+def compare_policies(scenario: Scenario,
+                     policies: Sequence[str] = ("coordinated",
+                                                "uncoordinated"),
+                     seeds: Sequence[int] = (1, 2, 3),
+                     cp_fidelity: str = "round",
+                     horizon: Optional[float] = None,
+                     **config_kwargs) -> dict[str, PolicyOutcome]:
+    """Run every (policy, seed) combination of one scenario."""
+    outcomes = {policy: PolicyOutcome(policy) for policy in policies}
+    for policy in policies:
+        for seed in seeds:
+            config = HanConfig(scenario=scenario, policy=policy,
+                               cp_fidelity=cp_fidelity, seed=seed,
+                               **config_kwargs)
+            outcomes[policy].results.append(
+                run_experiment(config, until=horizon))
+    return outcomes
+
+
+def sweep_rates(scenario: Scenario, rates: Sequence[float],
+                policies: Sequence[str] = ("coordinated", "uncoordinated"),
+                seeds: Sequence[int] = (1, 2, 3),
+                cp_fidelity: str = "round",
+                **config_kwargs) -> dict[float, dict[str, PolicyOutcome]]:
+    """The Figure 2(b)/(c) sweep: policies × arrival rates × seeds."""
+    table: dict[float, dict[str, PolicyOutcome]] = {}
+    for rate in rates:
+        table[rate] = compare_policies(scenario.with_rate(rate), policies,
+                                       seeds, cp_fidelity, **config_kwargs)
+    return table

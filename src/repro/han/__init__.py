@@ -1,0 +1,53 @@
+"""Home-Area-Network substrate: appliances, duty cycles, requests, metering."""
+
+from repro.han.appliance import (
+    Appliance,
+    ApplianceError,
+    SwitchRecord,
+    Type1Appliance,
+    Type2Appliance,
+)
+from repro.han.catalog import CATALOG, TYPE1_CATALOG, TYPE2_CATALOG, CatalogEntry, lookup
+from repro.han.dutycycle import DutyCycleGrid, DutyCycleSpec, SlotRef
+from repro.han.meter import (
+    SmartMeter,
+    TariffBand,
+    TimeOfUseTariff,
+    evening_peak_tariff,
+    flat_tariff,
+)
+from repro.han.requests import RequestAnnouncement, RequestState, UserRequest
+from repro.han.thermal import (
+    ThermalNode,
+    ThermalParams,
+    derive_duty_spec,
+    required_duty_fraction,
+)
+
+__all__ = [
+    "Appliance",
+    "ApplianceError",
+    "CATALOG",
+    "CatalogEntry",
+    "DutyCycleGrid",
+    "DutyCycleSpec",
+    "RequestAnnouncement",
+    "RequestState",
+    "SlotRef",
+    "SmartMeter",
+    "SwitchRecord",
+    "TariffBand",
+    "ThermalNode",
+    "ThermalParams",
+    "TimeOfUseTariff",
+    "TYPE1_CATALOG",
+    "TYPE2_CATALOG",
+    "Type1Appliance",
+    "Type2Appliance",
+    "UserRequest",
+    "derive_duty_spec",
+    "evening_peak_tariff",
+    "flat_tariff",
+    "lookup",
+    "required_duty_fraction",
+]

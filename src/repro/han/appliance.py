@@ -1,0 +1,159 @@
+"""Electrical appliance models.
+
+The paper splits appliances into **Type-1** (must start instantly when the
+user asks: fans, TVs, hair-dryers) and **Type-2** (power-hungry but
+deferrable because they internally duty-cycle: ACs, heaters, fridges).
+A Type-2 appliance exposes the power-hungry module (e.g. the compressor)
+that its Device Interface may switch ON/OFF, subject to its
+:class:`~repro.han.dutycycle.DutyCycleSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.han.dutycycle import DutyCycleSpec
+from repro.sim.monitor import GaugeSum
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class ApplianceError(Exception):
+    """Raised on physically impossible switching (e.g. violating minDCD)."""
+
+
+@dataclass
+class SwitchRecord:
+    """One ON interval of an appliance, for audit and invariant checks."""
+
+    on_at: float
+    off_at: Optional[float] = None
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.off_at is None:
+            return None
+        return self.off_at - self.on_at
+
+
+class Appliance:
+    """Base appliance: a named load that can be ON or OFF."""
+
+    def __init__(self, sim: "Simulator", device_id: int, name: str,
+                 power_w: float, meter: Optional[GaugeSum] = None,
+                 standby_w: float = 0.0):
+        if power_w < 0 or standby_w < 0:
+            raise ValueError("power must be non-negative")
+        self.sim = sim
+        self.device_id = device_id
+        self.name = name
+        self.power_w = power_w
+        self.standby_w = standby_w
+        self.meter = meter
+        self.is_on = False
+        self.history: list[SwitchRecord] = []
+        self._energy_j = 0.0
+        self._last_change = sim.now
+        self._publish()
+
+    # -- switching --------------------------------------------------------------
+
+    def turn_on(self) -> None:
+        """Energise the load (idempotent)."""
+        if self.is_on:
+            return
+        self._settle_energy()
+        self.is_on = True
+        self.history.append(SwitchRecord(on_at=self.sim.now))
+        self._publish()
+
+    def turn_off(self) -> None:
+        """De-energise the load (idempotent)."""
+        if not self.is_on:
+            return
+        self._settle_energy()
+        self.is_on = False
+        self.history[-1].off_at = self.sim.now
+        self._publish()
+
+    # -- accounting ---------------------------------------------------------------
+
+    @property
+    def current_draw_w(self) -> float:
+        """Instantaneous power draw, watts."""
+        return self.power_w if self.is_on else self.standby_w
+
+    def _settle_energy(self) -> None:
+        self._energy_j += self.current_draw_w * (self.sim.now
+                                                 - self._last_change)
+        self._last_change = self.sim.now
+
+    def energy_joules(self) -> float:
+        """Energy consumed so far (including the open interval)."""
+        open_part = self.current_draw_w * (self.sim.now - self._last_change)
+        return self._energy_j + open_part
+
+    def total_on_time(self) -> float:
+        """Accumulated ON seconds (including an open ON interval)."""
+        total = 0.0
+        for record in self.history:
+            end = record.off_at if record.off_at is not None else self.sim.now
+            total += end - record.on_at
+        return total
+
+    def _publish(self) -> None:
+        if self.meter is not None:
+            self.meter.set_level(self.device_id, self.current_draw_w,
+                                 self.sim.now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "ON" if self.is_on else "off"
+        return f"<{type(self).__name__} {self.name!r} #{self.device_id} {state}>"
+
+
+class Type1Appliance(Appliance):
+    """Instant-start appliance: runs immediately for a requested duration."""
+
+    def run_for(self, duration: float):
+        """Process: turn on now, off after ``duration``."""
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        self.turn_on()
+        yield self.sim.timeout(duration)
+        self.turn_off()
+
+
+class Type2Appliance(Appliance):
+    """Duty-cycled appliance whose module switching the DI controls."""
+
+    def __init__(self, sim: "Simulator", device_id: int, name: str,
+                 power_w: float, duty_spec: DutyCycleSpec,
+                 meter: Optional[GaugeSum] = None, standby_w: float = 0.0):
+        super().__init__(sim, device_id, name, power_w, meter,
+                         standby_w=standby_w)
+        self.duty_spec = duty_spec
+        self.bursts_completed = 0
+
+    def turn_off(self) -> None:
+        """De-energise, enforcing the minDCD constraint.
+
+        The physical device refuses to cut a burst short (compressors need
+        their minimum run time); a scheduler bug that tries is surfaced
+        loudly rather than silently tolerated.
+        """
+        if self.is_on:
+            elapsed = self.sim.now - self.history[-1].on_at
+            if elapsed + 1e-9 < self.duty_spec.min_dcd:
+                raise ApplianceError(
+                    f"{self.name}: OFF after {elapsed:.1f}s violates "
+                    f"minDCD={self.duty_spec.min_dcd:.1f}s")
+            self.bursts_completed += 1
+        super().turn_off()
+
+    def run_burst(self):
+        """Process: one full minDCD execution."""
+        self.turn_on()
+        yield self.sim.timeout(self.duty_spec.min_dcd)
+        self.turn_off()

@@ -1,0 +1,80 @@
+"""A catalog of common household appliances.
+
+Gives the examples and workload generators realistic devices.  Powers are
+typical nameplate values; Type-2 entries carry default duty-cycle
+constraints in line with the paper's 15 min / 30 min working point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.han.dutycycle import DutyCycleSpec
+from repro.sim.units import MINUTE
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """Blueprint for instantiating an appliance."""
+
+    name: str
+    appliance_type: int            # 1 = instant-start, 2 = deferrable
+    power_w: float
+    duty_spec: Optional[DutyCycleSpec] = None   # Type-2 only
+    typical_run_s: float = 30.0 * MINUTE        # Type-1 run duration
+    standby_w: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.appliance_type not in (1, 2):
+            raise ValueError(f"appliance_type must be 1 or 2")
+        if self.appliance_type == 2 and self.duty_spec is None:
+            raise ValueError(f"{self.name}: Type-2 entries need a duty spec")
+
+
+def _spec(min_dcd_min: float, max_dcp_min: float) -> DutyCycleSpec:
+    return DutyCycleSpec(min_dcd=min_dcd_min * MINUTE,
+                         max_dcp=max_dcp_min * MINUTE)
+
+
+#: Type-2 (deferrable, duty-cycled) appliances — the paper's focus.
+TYPE2_CATALOG: dict[str, CatalogEntry] = {
+    "air_conditioner": CatalogEntry("air_conditioner", 2, 1500.0,
+                                    _spec(15, 30)),
+    "room_heater": CatalogEntry("room_heater", 2, 1200.0, _spec(15, 30)),
+    "water_heater": CatalogEntry("water_heater", 2, 2000.0, _spec(15, 30)),
+    "water_cooler": CatalogEntry("water_cooler", 2, 800.0, _spec(15, 30)),
+    "fridge": CatalogEntry("fridge", 2, 150.0, _spec(10, 40), standby_w=5.0),
+    "pool_pump": CatalogEntry("pool_pump", 2, 1100.0, _spec(30, 120)),
+    "ev_charger": CatalogEntry("ev_charger", 2, 3300.0, _spec(30, 60)),
+    #: the paper's synthetic experiment device: 1 kW, 15/30 minutes
+    "paper_unit_load": CatalogEntry("paper_unit_load", 2, 1000.0,
+                                    _spec(15, 30)),
+}
+
+#: Type-1 (instant-start) appliances.
+TYPE1_CATALOG: dict[str, CatalogEntry] = {
+    "ceiling_fan": CatalogEntry("ceiling_fan", 1, 75.0,
+                                typical_run_s=120 * MINUTE),
+    "television": CatalogEntry("television", 1, 120.0,
+                               typical_run_s=90 * MINUTE),
+    "laptop": CatalogEntry("laptop", 1, 60.0, typical_run_s=180 * MINUTE),
+    "hair_dryer": CatalogEntry("hair_dryer", 1, 1200.0,
+                               typical_run_s=8 * MINUTE),
+    "blender": CatalogEntry("blender", 1, 400.0, typical_run_s=3 * MINUTE),
+    "microwave": CatalogEntry("microwave", 1, 1100.0,
+                              typical_run_s=5 * MINUTE),
+    "lighting": CatalogEntry("lighting", 1, 200.0,
+                             typical_run_s=240 * MINUTE),
+}
+
+CATALOG: dict[str, CatalogEntry] = {**TYPE2_CATALOG, **TYPE1_CATALOG}
+
+
+def lookup(name: str) -> CatalogEntry:
+    """Fetch a catalog entry by name (KeyError with guidance if absent)."""
+    try:
+        return CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(CATALOG))
+        raise KeyError(f"unknown appliance {name!r}; catalog has: {known}")

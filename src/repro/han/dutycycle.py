@@ -1,0 +1,148 @@
+"""Duty-cycle grid arithmetic for Type-2 appliances.
+
+The paper constrains every Type-2 device by
+
+* ``minDCD`` — minimum duty-cycle duration: once ON, stay ON at least this
+  long, and
+* ``maxDCP`` — maximum duty-cycle period: while active, at least one
+  ``minDCD`` execution must happen inside every window of this length.
+
+The collaborative scheduler discretises time into **epochs** of length
+``maxDCP`` aligned at t = 0 (all DIs share a synchronised clock), each
+divided into ``slots_per_epoch`` slots of length ``minDCD``.  This module
+owns that grid arithmetic; it is deliberately free of simulation state so it
+can be property-tested exhaustively.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DutyCycleSpec:
+    """A Type-2 device's duty-cycle constraints (seconds)."""
+
+    min_dcd: float
+    max_dcp: float
+
+    def __post_init__(self) -> None:
+        if self.min_dcd <= 0:
+            raise ValueError(f"minDCD must be positive, got {self.min_dcd}")
+        if self.max_dcp < self.min_dcd:
+            raise ValueError(
+                f"maxDCP ({self.max_dcp}) must be >= minDCD ({self.min_dcd})")
+
+    @property
+    def slots_per_epoch(self) -> int:
+        """How many full ``minDCD`` slots fit in one ``maxDCP`` epoch."""
+        return int(self.max_dcp // self.min_dcd)
+
+    @property
+    def duty_fraction(self) -> float:
+        """Fraction of time a device executing once per epoch is ON."""
+        return self.min_dcd / self.max_dcp
+
+
+@dataclass(frozen=True)
+class SlotRef:
+    """One concrete slot on the global grid."""
+
+    epoch: int
+    slot: int
+
+    def index_in(self, spec: DutyCycleSpec) -> int:
+        """Absolute slot number since t = 0."""
+        return self.epoch * spec.slots_per_epoch + self.slot
+
+
+class DutyCycleGrid:
+    """Epoch/slot arithmetic over a :class:`DutyCycleSpec`."""
+
+    def __init__(self, spec: DutyCycleSpec, origin: float = 0.0):
+        self.spec = spec
+        self.origin = origin
+
+    # -- time -> grid -------------------------------------------------------
+
+    def epoch_of(self, time: float) -> int:
+        """Epoch index containing ``time``."""
+        return math.floor((time - self.origin) / self.spec.max_dcp)
+
+    def slot_of(self, time: float) -> SlotRef:
+        """Grid slot containing ``time``.
+
+        Times in the tail of an epoch beyond the last full slot (when
+        ``max_dcp`` is not an exact multiple of ``min_dcd``) belong to the
+        epoch's last slot for containment purposes.
+        """
+        epoch = self.epoch_of(time)
+        offset = (time - self.origin) - epoch * self.spec.max_dcp
+        slot = min(int(offset // self.spec.min_dcd),
+                   self.spec.slots_per_epoch - 1)
+        return SlotRef(epoch=epoch, slot=slot)
+
+    # -- grid -> time --------------------------------------------------------
+
+    def epoch_start(self, epoch: int) -> float:
+        return self.origin + epoch * self.spec.max_dcp
+
+    def slot_start(self, ref: SlotRef) -> float:
+        return self.epoch_start(ref.epoch) + ref.slot * self.spec.min_dcd
+
+    def slot_end(self, ref: SlotRef) -> float:
+        return self.slot_start(ref) + self.spec.min_dcd
+
+    # -- scheduling queries --------------------------------------------------
+
+    def next_slot_starts(self, time: float) -> list[SlotRef]:
+        """Slots whose start lies in ``(time, time + maxDCP]``.
+
+        These are exactly the candidate execution windows guaranteeing a
+        newly admitted device one full ``minDCD`` burst within ``maxDCP`` of
+        ``time`` — the paper's liveness constraint.  There are always
+        ``slots_per_epoch`` candidates, one per slot position.
+        """
+        result: list[SlotRef] = []
+        epoch = self.epoch_of(time)
+        spots = self.spec.slots_per_epoch
+        candidate_epoch = epoch
+        while len(result) < spots:
+            for slot in range(spots):
+                ref = SlotRef(candidate_epoch, slot)
+                start = self.slot_start(ref)
+                if time < start <= time + self.spec.max_dcp:
+                    result.append(ref)
+                    if len(result) == spots:
+                        break
+            candidate_epoch += 1
+            if candidate_epoch > epoch + 2:  # pragma: no cover - safety
+                break
+        return result
+
+    def next_slot_boundary(self, time: float) -> tuple[SlotRef, float]:
+        """First slot whose start lies strictly after ``time``.
+
+        Returns the slot reference and its start time.  Handles epochs whose
+        tail (``max_dcp`` not an exact multiple of ``min_dcd``) contains no
+        slot start.
+        """
+        epoch = self.epoch_of(time)
+        for candidate_epoch in (epoch, epoch + 1):
+            for slot in range(self.spec.slots_per_epoch):
+                ref = SlotRef(candidate_epoch, slot)
+                start = self.slot_start(ref)
+                if start > time:
+                    return ref, start
+        raise AssertionError("a boundary always exists")  # pragma: no cover
+
+    def occurrence_of_slot(self, slot: int, after: float) -> SlotRef:
+        """First occurrence of slot position ``slot`` starting after ``after``."""
+        if not 0 <= slot < self.spec.slots_per_epoch:
+            raise ValueError(f"slot {slot} out of range")
+        epoch = self.epoch_of(after)
+        ref = SlotRef(epoch, slot)
+        if self.slot_start(ref) > after:
+            return ref
+        return SlotRef(epoch + 1, slot)

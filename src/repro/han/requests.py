@@ -1,0 +1,86 @@
+"""User requests and their lifecycle.
+
+A request asks one Type-2 device to perform ``demand_cycles`` duty-cycle
+executions (each one ``minDCD`` long).  For Type-1 devices a request simply
+turns the device on for its drawn duration.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Optional
+
+_request_ids = count(1)
+
+
+class RequestState(enum.Enum):
+    """Where a request is in its life."""
+
+    PENDING = "pending"        # arrived, not yet admitted by the scheduler
+    ADMITTED = "admitted"      # slot assigned / execution planned
+    RUNNING = "running"        # at least one burst executed, more remain
+    COMPLETED = "completed"    # all demanded cycles executed
+
+
+@dataclass
+class UserRequest:
+    """One user request against one device."""
+
+    device_id: int
+    arrival_time: float
+    demand_cycles: int = 1
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    state: RequestState = RequestState.PENDING
+    admitted_at: Optional[float] = None
+    first_burst_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    #: True when admission extended an already-active device (the liveness
+    #: window then applies to the device, not to this queued request)
+    extended_existing: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if self.demand_cycles < 1:
+            raise ValueError(
+                f"demand_cycles must be >= 1, got {self.demand_cycles}")
+
+    @property
+    def waiting_time(self) -> Optional[float]:
+        """Arrival → first execution delay (None until it runs)."""
+        if self.first_burst_at is None:
+            return None
+        return self.first_burst_at - self.arrival_time
+
+    @property
+    def sort_key(self) -> tuple[float, int]:
+        """Deterministic one-by-one admission order (paper §II)."""
+        return (self.arrival_time, self.request_id)
+
+
+@dataclass(frozen=True)
+class RequestAnnouncement:
+    """The compact form of a request shared over the Communication Plane."""
+
+    request_id: int
+    device_id: int
+    arrival_time: float
+    demand_cycles: int
+    #: rated power of the requesting device, so any DI can project load
+    power_w: float = 0.0
+
+    @classmethod
+    def of(cls, request: UserRequest,
+           power_w: float = 0.0) -> "RequestAnnouncement":
+        return cls(request_id=request.request_id,
+                   device_id=request.device_id,
+                   arrival_time=request.arrival_time,
+                   demand_cycles=request.demand_cycles,
+                   power_w=power_w)
+
+    @property
+    def sort_key(self) -> tuple[float, int]:
+        return (self.arrival_time, self.request_id)
+
+    #: serialized bytes on the radio (id 4 + dev 2 + time 4 + n 1 + power 2)
+    WIRE_BYTES: int = 13

@@ -1,0 +1,111 @@
+"""First-order thermal models deriving duty-cycle behaviour.
+
+The paper notes that a Type-2 device's constraints vary with the
+environment: "to achieve a target temperature of 20°C, the maxDCP would be
+lesser compared to a target of 30°C when the external temperature is 40°C".
+This module supplies that physics: a lumped RC thermal node heated or cooled
+by the appliance, from which effective ``minDCD``/``maxDCP`` values follow.
+
+Used by the richer examples and the dynamic-constraint extension; the
+paper's headline experiment fixes the constraints at 15/30 minutes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.han.dutycycle import DutyCycleSpec
+
+
+@dataclass
+class ThermalParams:
+    """Lumped thermal-node parameters.
+
+    Attributes:
+        capacitance_j_per_k: heat capacity of the conditioned mass.
+        resistance_k_per_w: thermal resistance to ambient.
+        appliance_heat_w: heat the appliance injects when ON (negative for
+            cooling devices such as ACs and fridges).
+    """
+
+    capacitance_j_per_k: float
+    resistance_k_per_w: float
+    appliance_heat_w: float
+
+    def __post_init__(self) -> None:
+        if self.capacitance_j_per_k <= 0 or self.resistance_k_per_w <= 0:
+            raise ValueError("thermal parameters must be positive")
+
+    @property
+    def time_constant(self) -> float:
+        """RC time constant, seconds."""
+        return self.capacitance_j_per_k * self.resistance_k_per_w
+
+
+class ThermalNode:
+    """Temperature state T with dT/dt = (T_amb − T)/RC + Q/C."""
+
+    def __init__(self, params: ThermalParams, initial_temp_c: float,
+                 ambient_c: Callable[[float], float] | float):
+        self.params = params
+        self.temperature_c = initial_temp_c
+        if callable(ambient_c):
+            self.ambient_fn = ambient_c
+        else:
+            self.ambient_fn = lambda _t, _a=float(ambient_c): _a
+        self._last_update = 0.0
+
+    def advance(self, now: float, appliance_on: bool) -> float:
+        """Integrate the node to ``now``; returns the new temperature.
+
+        Uses the exact exponential solution for a constant-input interval,
+        so step size does not affect accuracy.
+        """
+        dt = now - self._last_update
+        if dt < 0:
+            raise ValueError("time went backwards")
+        if dt == 0:
+            return self.temperature_c
+        ambient = self.ambient_fn(now)
+        heat = self.params.appliance_heat_w if appliance_on else 0.0
+        # Steady state the node decays toward during this interval:
+        target = ambient + heat * self.params.resistance_k_per_w
+        decay = math.exp(-dt / self.params.time_constant)
+        self.temperature_c = target + (self.temperature_c - target) * decay
+        self._last_update = now
+        return self.temperature_c
+
+
+def required_duty_fraction(params: ThermalParams, target_c: float,
+                           ambient_c: float) -> float:
+    """Long-run ON fraction needed to hold ``target_c`` against ``ambient_c``.
+
+    From the steady-state balance ``duty * Q = (target − ambient)/R``;
+    clipped to [0, 1].  Values near 1 mean the appliance is undersized.
+    """
+    if params.appliance_heat_w == 0:
+        raise ValueError("appliance adds no heat; duty undefined")
+    needed_w = (target_c - ambient_c) / params.resistance_k_per_w
+    duty = needed_w / params.appliance_heat_w
+    return min(max(duty, 0.0), 1.0)
+
+
+def derive_duty_spec(params: ThermalParams, target_c: float,
+                     ambient_c: float, min_dcd: float,
+                     max_period_cap: float = 3600.0) -> DutyCycleSpec:
+    """Translate a thermal situation into scheduler constraints.
+
+    Keeps ``minDCD`` fixed (a hardware property of compressors/heaters) and
+    derives the ``maxDCP`` that maintains the target: with one ``minDCD``
+    burst per period, duty = minDCD / maxDCP must meet the required duty
+    fraction, so ``maxDCP = minDCD / duty`` (capped; a hotter day → larger
+    required duty → *shorter* allowable period, exactly the paper's
+    example).
+    """
+    duty = required_duty_fraction(params, target_c, ambient_c)
+    if duty <= 0.0:
+        return DutyCycleSpec(min_dcd=min_dcd, max_dcp=max_period_cap)
+    max_dcp = min(min_dcd / duty, max_period_cap)
+    return DutyCycleSpec(min_dcd=min_dcd, max_dcp=max(max_dcp, min_dcd))

@@ -1,0 +1,21 @@
+"""Asynchronous-Transmission baseline stack: CSMA/CA, tree routing, collection."""
+
+from repro.mac.collection import (
+    CollectionNetwork,
+    CollectionStats,
+    Dissemination,
+    Report,
+)
+from repro.mac.csma import CsmaNode, SendReport
+from repro.mac.routing import CollectionTree, build_collection_tree
+
+__all__ = [
+    "CollectionNetwork",
+    "CollectionStats",
+    "CollectionTree",
+    "CsmaNode",
+    "Dissemination",
+    "Report",
+    "SendReport",
+    "build_collection_tree",
+]

@@ -1,0 +1,202 @@
+"""Unslotted CSMA/CA MAC (IEEE 802.15.4) over the continuous-time medium.
+
+This is the traditional Asynchronous-Transmission stack the paper's
+introduction argues against: nodes contend for the channel with binary
+exponential backoff, unicasts are acknowledged and retried, and radios
+listen continuously (no network-wide schedule exists to let them sleep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import count
+from typing import TYPE_CHECKING, Callable, Optional
+
+import numpy as np
+
+from repro.radio import phy
+from repro.radio.energy import EnergyMeter
+from repro.radio.medium import CsmaMedium
+from repro.radio.packet import BROADCAST, Frame
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+#: 802.15.4 default CSMA parameters.
+MAC_MIN_BE: int = 3
+MAC_MAX_BE: int = 5
+MAC_MAX_CSMA_BACKOFFS: int = 4
+MAC_MAX_FRAME_RETRIES: int = 3
+#: How long a sender waits for an immediate ACK, seconds.
+ACK_WAIT: float = 864e-6
+
+
+@dataclass
+class SendReport:
+    """Outcome of one MAC-layer send."""
+
+    frame: Frame
+    accepted: bool
+    acked: bool
+    attempts: int
+    cca_failures: int
+    elapsed: float
+
+
+class CsmaNode:
+    """One always-listening CSMA/CA transceiver plus its MAC logic."""
+
+    def __init__(self, sim: "Simulator", node_id: int, medium: CsmaMedium,
+                 rng: np.random.Generator,
+                 receive_callback: Optional[Callable[[Frame], None]] = None):
+        self.sim = sim
+        self.node_id = node_id
+        self.medium = medium
+        self.rng = rng
+        self.receive_callback = receive_callback
+        self.energy = EnergyMeter()
+        self.alive = True
+        self._born = sim.now
+        self._tx_seconds = 0.0
+        self._sequence = count(1)
+        self._ack_waiters: dict[tuple[int, int], object] = {}
+        self._seen: set[tuple[int, int]] = set()
+        self._seen_order: list[tuple[int, int]] = []
+        medium.register(node_id, self._on_frame)
+        # MAC statistics
+        self.sent_data = 0
+        self.sent_acks = 0
+        self.delivered_to_app = 0
+        self.dropped_channel_busy = 0
+        self.dropped_no_ack = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def fail(self) -> None:
+        """Crash the node: stop receiving and transmitting."""
+        self.alive = False
+        self.medium.unregister(self.node_id)
+
+    def recover(self) -> None:
+        """Restart a crashed node."""
+        if not self.alive:
+            self.alive = True
+            self.medium.register(self.node_id, self._on_frame)
+
+    def finalize_energy(self) -> EnergyMeter:
+        """Charge idle-listening time and return the meter.
+
+        The AT stack keeps the receiver on whenever not transmitting, which
+        is where its energy disadvantage against ST duty-cycled rounds
+        comes from.
+        """
+        elapsed = self.sim.now - self._born
+        rx_time = max(elapsed - self._tx_seconds, 0.0)
+        charged = self.energy.seconds["rx"]
+        if rx_time > charged:
+            self.energy.add("rx", rx_time - charged)
+        return self.energy
+
+    # -- sending -------------------------------------------------------------
+
+    def next_sequence(self) -> int:
+        return next(self._sequence) & 0xFF
+
+    def make_frame(self, destination: int, payload: object,
+                   payload_bytes: int, kind: str = "data") -> Frame:
+        return Frame(source=self.node_id, destination=destination,
+                     payload=payload, payload_bytes=payload_bytes, kind=kind,
+                     sequence=self.next_sequence())
+
+    def send(self, frame: Frame):
+        """CSMA/CA transmission sub-process; yields a :class:`SendReport`.
+
+        Use as ``report = yield from node.send(frame)``.
+        """
+        start = self.sim.now
+        if not self.alive:
+            return SendReport(frame, False, False, 0, 0, 0.0)
+        cca_failures = 0
+        attempts = 0
+        retries_left = MAC_MAX_FRAME_RETRIES if not frame.is_broadcast else 0
+        while True:
+            granted = yield from self._csma_acquire()
+            if not granted:
+                cca_failures += 1
+                self.dropped_channel_busy += 1
+                return SendReport(frame, False, False, attempts,
+                                  cca_failures, self.sim.now - start)
+            attempts += 1
+            ack_event = None
+            if not frame.is_broadcast:
+                ack_event = self.sim.event()
+                self._ack_waiters[(frame.destination,
+                                   frame.sequence)] = ack_event
+            self.sent_data += 1
+            self._tx_seconds += frame.airtime
+            self.energy.add("tx", frame.airtime)
+            yield from self.medium.transmit(self.node_id, frame)
+            if frame.is_broadcast:
+                return SendReport(frame, True, False, attempts,
+                                  cca_failures, self.sim.now - start)
+            # Unicast: wait for the immediate ACK.
+            timeout = self.sim.timeout(ACK_WAIT)
+            outcome = yield ack_event | timeout
+            self._ack_waiters.pop((frame.destination, frame.sequence), None)
+            if ack_event in outcome:
+                return SendReport(frame, True, True, attempts,
+                                  cca_failures, self.sim.now - start)
+            if retries_left == 0:
+                self.dropped_no_ack += 1
+                return SendReport(frame, True, False, attempts,
+                                  cca_failures, self.sim.now - start)
+            retries_left -= 1
+
+    def _csma_acquire(self):
+        """Binary-exponential-backoff channel acquisition; True if clear."""
+        backoff_exponent = MAC_MIN_BE
+        for _ in range(MAC_MAX_CSMA_BACKOFFS + 1):
+            slots = int(self.rng.integers(0, 2 ** backoff_exponent))
+            yield self.sim.timeout(slots * phy.BACKOFF_UNIT + phy.CCA_TIME)
+            if not self.medium.channel_busy(self.node_id):
+                yield self.sim.timeout(phy.TURNAROUND_TIME)
+                return True
+            backoff_exponent = min(backoff_exponent + 1, MAC_MAX_BE)
+        return False
+
+    # -- receiving ------------------------------------------------------------
+
+    def _on_frame(self, frame: Frame, rssi_dbm: float) -> None:
+        if not self.alive:
+            return
+        if frame.kind == "ack":
+            waiter = self._ack_waiters.get((frame.source, frame.sequence))
+            if waiter is not None and not waiter.triggered:
+                waiter.succeed(frame)
+            return
+        if frame.destination == self.node_id:
+            self.sim.spawn(self._send_ack(frame), name="ack")
+        key = (frame.source, frame.sequence)
+        if key in self._seen:
+            return
+        self._remember(key)
+        self.delivered_to_app += 1
+        if self.receive_callback is not None:
+            self.receive_callback(frame)
+
+    def _remember(self, key: tuple[int, int]) -> None:
+        self._seen.add(key)
+        self._seen_order.append(key)
+        if len(self._seen_order) > 512:
+            old = self._seen_order.pop(0)
+            self._seen.discard(old)
+
+    def _send_ack(self, data_frame: Frame):
+        yield self.sim.timeout(phy.TURNAROUND_TIME)
+        ack = Frame(source=self.node_id, destination=data_frame.source,
+                    payload=None, payload_bytes=0, kind="ack",
+                    sequence=data_frame.sequence, mac_header_bytes=3)
+        self.sent_acks += 1
+        self._tx_seconds += ack.airtime
+        self.energy.add("tx", ack.airtime)
+        yield from self.medium.transmit(self.node_id, ack)

@@ -1,0 +1,76 @@
+"""ETX collection-tree routing (CTP/RPL-lite) for the AT baseline.
+
+The centralized HAN needs multi-hop unicast paths from every DI to the
+controller.  As in CTP/RPL, each node picks the parent minimising the
+expected number of transmissions (ETX) to the sink.  The tree is computed
+from the channel's link-quality estimates and recomputed when nodes fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import networkx as nx
+
+from repro.radio.channel import Channel
+
+
+@dataclass
+class CollectionTree:
+    """Routing state: per-node parent pointers toward the sink."""
+
+    sink: int
+    parent: dict[int, Optional[int]] = field(default_factory=dict)
+    etx_to_sink: dict[int, float] = field(default_factory=dict)
+
+    def next_hop(self, node: int) -> Optional[int]:
+        """The node to forward to on the way to the sink (None = no route)."""
+        return self.parent.get(node)
+
+    def route(self, node: int) -> list[int]:
+        """Full path from ``node`` to the sink (inclusive); [] if no route."""
+        path = [node]
+        current = node
+        seen = {node}
+        while current != self.sink:
+            nxt = self.parent.get(current)
+            if nxt is None or nxt in seen:
+                return []
+            path.append(nxt)
+            seen.add(nxt)
+            current = nxt
+        return path
+
+    def depth(self, node: int) -> int:
+        """Hop distance from ``node`` to the sink (-1 if unreachable)."""
+        path = self.route(node)
+        return len(path) - 1 if path else -1
+
+    def children(self, node: int) -> list[int]:
+        """Direct children of ``node`` in the tree."""
+        return sorted(child for child, par in self.parent.items()
+                      if par == node)
+
+
+def build_collection_tree(channel: Channel, sink: int,
+                          alive: Optional[Sequence[int]] = None,
+                          prr_threshold: float = 0.5,
+                          probe_bytes: int = 40) -> CollectionTree:
+    """Compute the minimum-ETX tree toward ``sink`` over usable links."""
+    graph = channel.connectivity_graph(prr_threshold, probe_bytes)
+    if alive is not None:
+        dead = set(graph.nodes) - set(alive)
+        graph.remove_nodes_from(dead)
+    tree = CollectionTree(sink=sink)
+    if sink not in graph:
+        return tree
+    lengths, paths = nx.single_source_dijkstra(graph, sink, weight="etx")
+    for node, path in paths.items():
+        if node == sink:
+            tree.parent[node] = None
+        else:
+            # path runs sink -> ... -> node; the parent is the hop before.
+            tree.parent[node] = path[-2]
+        tree.etx_to_sink[node] = lengths[node]
+    return tree

@@ -1,0 +1,39 @@
+"""Low-power wireless substrate: PHY, channel, media, topologies, energy."""
+
+from repro.radio.channel import Channel, ber_oqpsk, prr_from_sinr
+from repro.radio.clock import DriftingClock
+from repro.radio.energy import EnergyMeter
+from repro.radio.medium import CsmaMedium, FloodMedium, Transmission
+from repro.radio.packet import BROADCAST, Frame, Reception
+from repro.radio.phy import DEFAULT_RADIO_CONFIG, RadioConfig, frame_airtime
+from repro.radio.topology import (
+    Topology,
+    flocklab26,
+    grid_layout,
+    home_layout,
+    linear_layout,
+    random_layout,
+)
+
+__all__ = [
+    "BROADCAST",
+    "Channel",
+    "CsmaMedium",
+    "DEFAULT_RADIO_CONFIG",
+    "DriftingClock",
+    "EnergyMeter",
+    "FloodMedium",
+    "Frame",
+    "RadioConfig",
+    "Reception",
+    "Topology",
+    "Transmission",
+    "ber_oqpsk",
+    "flocklab26",
+    "frame_airtime",
+    "grid_layout",
+    "home_layout",
+    "linear_layout",
+    "prr_from_sinr",
+    "random_layout",
+]

@@ -1,0 +1,60 @@
+"""Per-node clocks with crystal drift.
+
+TelosB-class hardware derives its timers from a 32 kHz crystal whose
+frequency error is tens of parts-per-million.  Synchronous-transmission
+protocols must periodically re-synchronise; this module models the drifting
+local clock those protocols correct.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class DriftingClock:
+    """A local clock running at ``1 + drift_ppm * 1e-6`` of real time."""
+
+    def __init__(self, sim: "Simulator", drift_ppm: float = 0.0,
+                 offset: float = 0.0):
+        self.sim = sim
+        self.drift_ppm = float(drift_ppm)
+        #: Reference (simulation) time of the last synchronisation point.
+        self._ref_global = sim.now
+        #: Local time at the last synchronisation point.
+        self._ref_local = offset
+
+    @property
+    def rate(self) -> float:
+        """Local seconds elapsing per global second."""
+        return 1.0 + self.drift_ppm * 1e-6
+
+    def local_time(self) -> float:
+        """Current local-clock reading."""
+        return self._ref_local + (self.sim.now - self._ref_global) * self.rate
+
+    def to_local(self, global_time: float) -> float:
+        """Local-clock reading at a given global instant."""
+        return self._ref_local + (global_time - self._ref_global) * self.rate
+
+    def to_global(self, local_time: float) -> float:
+        """Global instant at which the local clock reads ``local_time``."""
+        return self._ref_global + (local_time - self._ref_local) / self.rate
+
+    def synchronize(self, local_now: float) -> float:
+        """Set the local reading at the current instant; returns correction.
+
+        Called by time-sync protocols when a reference arrives; the returned
+        value is the jump applied to the local clock (positive = the clock
+        was behind).
+        """
+        correction = local_now - self.local_time()
+        self._ref_global = self.sim.now
+        self._ref_local = local_now
+        return correction
+
+    def error_vs(self, other: "DriftingClock") -> float:
+        """Instantaneous clock disagreement with another clock (seconds)."""
+        return self.local_time() - other.local_time()

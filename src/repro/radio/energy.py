@@ -1,0 +1,68 @@
+"""Radio energy accounting with the CC2420 current model.
+
+The CC2420 is the transceiver on the TelosB motes used in the paper.
+Current draws follow the datasheet (at 3.0 V):
+
+===========  ============
+state        current (mA)
+===========  ============
+RX / listen  18.8
+TX @ 0 dBm   17.4
+idle         0.426
+sleep        0.00002
+===========  ============
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Supply voltage, volts.
+VOLTAGE: float = 3.0
+
+#: Current draw per radio state, amperes.
+CURRENT_A: dict[str, float] = {
+    "rx": 18.8e-3,
+    "tx": 17.4e-3,
+    "idle": 0.426e-3,
+    "sleep": 0.02e-6,
+}
+
+
+@dataclass
+class EnergyMeter:
+    """Accumulates time spent per radio state and converts to energy."""
+
+    seconds: dict[str, float] = field(
+        default_factory=lambda: {state: 0.0 for state in CURRENT_A})
+
+    def add(self, state: str, duration: float) -> None:
+        """Charge ``duration`` seconds of ``state`` to the meter."""
+        if duration < 0:
+            raise ValueError(f"negative duration {duration}")
+        if state not in self.seconds:
+            raise KeyError(f"unknown radio state {state!r}")
+        self.seconds[state] += duration
+
+    @property
+    def radio_on_time(self) -> float:
+        """Total seconds with the transceiver active (RX + TX)."""
+        return self.seconds["rx"] + self.seconds["tx"]
+
+    def energy_joules(self) -> float:
+        """Total consumed energy in joules."""
+        return sum(VOLTAGE * CURRENT_A[state] * secs
+                   for state, secs in self.seconds.items())
+
+    def duty_cycle(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` seconds the radio was on."""
+        if elapsed <= 0:
+            raise ValueError("elapsed must be positive")
+        return self.radio_on_time / elapsed
+
+    def merged_with(self, other: "EnergyMeter") -> "EnergyMeter":
+        """A new meter holding the sum of both meters' tallies."""
+        merged = EnergyMeter()
+        for state in merged.seconds:
+            merged.seconds[state] = self.seconds[state] + other.seconds[state]
+        return merged

@@ -1,0 +1,65 @@
+"""Frame objects exchanged over the simulated radio."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Optional
+
+from repro.radio import phy
+
+#: Destination address meaning "all neighbours".
+BROADCAST: int = 0xFFFF
+
+_frame_ids = count(1)
+
+
+@dataclass
+class Frame:
+    """One 802.15.4 MAC frame.
+
+    ``payload`` is an arbitrary (hashable or not) application object; only
+    ``payload_bytes`` counts toward airtime, so higher layers declare the
+    serialized size they would occupy on a real radio.
+    """
+
+    source: int
+    destination: int
+    payload: object
+    payload_bytes: int
+    kind: str = "data"
+    sequence: int = 0
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    #: MAC header bytes (FCF 2 + seq 1 + PAN 2 + dst 2 + src 2 = 9).
+    mac_header_bytes: int = 9
+
+    def __post_init__(self) -> None:
+        if self.psdu_bytes > phy.MAX_FRAME_BYTES:
+            raise ValueError(
+                f"frame too large: {self.psdu_bytes} B PSDU "
+                f"(max {phy.MAX_FRAME_BYTES})")
+
+    @property
+    def psdu_bytes(self) -> int:
+        """Total PHY service data unit length in bytes."""
+        return self.mac_header_bytes + self.payload_bytes + phy.MAC_FOOTER_BYTES
+
+    @property
+    def airtime(self) -> float:
+        """On-air duration of this frame in seconds."""
+        return phy.frame_airtime(self.psdu_bytes)
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.destination == BROADCAST
+
+
+@dataclass(frozen=True)
+class Reception:
+    """Outcome of one frame arrival at one receiver."""
+
+    frame: Frame
+    receiver: int
+    rssi_dbm: float
+    time: float
+    relayed_by: Optional[int] = None

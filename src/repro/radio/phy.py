@@ -1,0 +1,73 @@
+"""IEEE 802.15.4 (2.4 GHz O-QPSK) physical-layer timing and limits.
+
+Numbers follow the 802.15.4-2006 PHY used by the TelosB's CC2420 radio:
+250 kbit/s, 4 bits per symbol, 32 µs per byte on air.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Payload bit rate, bits per second.
+BITRATE: float = 250_000.0
+#: Seconds to transmit one byte.
+BYTE_AIRTIME: float = 8.0 / BITRATE
+#: Preamble (4 B) + start-of-frame delimiter (1 B).
+SYNC_HEADER_BYTES: int = 5
+#: PHY header: one length byte.
+PHY_HEADER_BYTES: int = 1
+#: Maximum PHY-layer frame payload (PSDU), bytes.
+MAX_FRAME_BYTES: int = 127
+#: MAC footer (CRC-16), bytes; part of the PSDU.
+MAC_FOOTER_BYTES: int = 2
+#: Rx/Tx turnaround time, seconds (192 µs in the standard).
+TURNAROUND_TIME: float = 192e-6
+#: Duration of one CCA (8 symbol periods = 128 µs).
+CCA_TIME: float = 128e-6
+#: 802.15.4 unit backoff period (20 symbols = 320 µs).
+BACKOFF_UNIT: float = 320e-6
+#: ACK frame length on air, bytes of PSDU (imm-ack is 5 bytes).
+ACK_PSDU_BYTES: int = 5
+
+
+def frame_airtime(psdu_bytes: int) -> float:
+    """On-air duration of a frame whose PSDU is ``psdu_bytes`` long.
+
+    Includes the synchronisation and PHY headers that precede the PSDU.
+    """
+    if not 0 < psdu_bytes <= MAX_FRAME_BYTES:
+        raise ValueError(
+            f"PSDU must be 1..{MAX_FRAME_BYTES} bytes, got {psdu_bytes}")
+    total = SYNC_HEADER_BYTES + PHY_HEADER_BYTES + psdu_bytes
+    return total * BYTE_AIRTIME
+
+
+def ack_airtime() -> float:
+    """On-air duration of an immediate acknowledgement frame."""
+    return frame_airtime(ACK_PSDU_BYTES)
+
+
+@dataclass(frozen=True)
+class RadioConfig:
+    """Per-deployment radio parameters.
+
+    Attributes:
+        tx_power_dbm: transmit power (CC2420 range: -25 .. 0 dBm).
+        noise_floor_dbm: thermal noise + receiver noise figure.
+        sensitivity_dbm: weakest decodable signal.
+        cca_threshold_dbm: energy level above which CCA reports busy.
+        capture_threshold_db: SINR advantage needed for capture.
+        ci_window: max start-time offset (s) for constructive interference.
+        ci_derating: per-extra-transmitter success de-rating for CI floods.
+    """
+
+    tx_power_dbm: float = 0.0
+    noise_floor_dbm: float = -98.0
+    sensitivity_dbm: float = -94.0
+    cca_threshold_dbm: float = -77.0
+    capture_threshold_db: float = 3.0
+    ci_window: float = 0.5e-6
+    ci_derating: float = 0.985
+
+
+DEFAULT_RADIO_CONFIG = RadioConfig()

@@ -1,0 +1,34 @@
+"""Exception types used by the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all kernel-level errors."""
+
+
+class EventAlreadyFired(SimulationError):
+    """Raised when triggering an event that has already succeeded or failed."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The interrupting party supplies ``cause``, an arbitrary object describing
+    why the wait was cut short (e.g. ``"preempted"`` or a request object).
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Interrupt(cause={self.cause!r})"
+
+
+class StopSimulation(SimulationError):
+    """Raised internally to halt :meth:`Simulator.run` early."""
+
+    def __init__(self, value: object = None):
+        super().__init__(value)
+        self.value = value

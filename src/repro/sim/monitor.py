@@ -1,0 +1,209 @@
+"""Time-series recording for simulations.
+
+:class:`StepSeries` records a piecewise-constant signal (e.g. total system
+load): each ``record(t, v)`` states that the signal holds value ``v`` from
+time ``t`` until the next record.  All summary statistics are *time-weighted*
+so that sampling frequency does not bias them.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+
+class StepSeries:
+    """A right-open piecewise-constant time series."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    # -- recording ----------------------------------------------------------
+
+    def record(self, time: float, value: float) -> None:
+        """State that the signal equals ``value`` from ``time`` onward."""
+        if self._times:
+            last = self._times[-1]
+            if time < last:
+                raise ValueError(
+                    f"record at t={time} precedes last record t={last}")
+            if time == last:
+                # Same-instant update wins (e.g. several devices switching in
+                # one event): overwrite in place.
+                self._values[-1] = value
+                return
+            if value == self._values[-1]:
+                return  # no change, keep the series minimal
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        return iter(zip(self._times, self._values))
+
+    @property
+    def times(self) -> Sequence[float]:
+        return tuple(self._times)
+
+    @property
+    def values(self) -> Sequence[float]:
+        return tuple(self._values)
+
+    # -- queries --------------------------------------------------------------
+
+    def at(self, time: float) -> float:
+        """Signal value at ``time`` (0.0 before the first record)."""
+        index = bisect.bisect_right(self._times, time) - 1
+        if index < 0:
+            return 0.0
+        return self._values[index]
+
+    def window(self, start: float, end: float) -> "StepSeries":
+        """The series restricted to ``[start, end)``."""
+        if end < start:
+            raise ValueError(f"end={end} precedes start={start}")
+        clipped = StepSeries(self.name)
+        clipped.record(start, self.at(start))
+        lo = bisect.bisect_right(self._times, start)
+        hi = bisect.bisect_left(self._times, end)
+        for i in range(lo, hi):
+            clipped.record(self._times[i], self._values[i])
+        return clipped
+
+    def sample(self, times: Iterable[float]) -> np.ndarray:
+        """Signal values at each query time, as an array."""
+        return np.array([self.at(t) for t in times], dtype=float)
+
+    def sample_grid(self, start: float, end: float,
+                    step: float) -> tuple[np.ndarray, np.ndarray]:
+        """Sample on a regular grid; returns ``(times, values)`` arrays."""
+        grid = np.arange(start, end, step, dtype=float)
+        return grid, self.sample(grid)
+
+    # -- time-weighted statistics over [start, end) ---------------------------
+
+    def _segments(self, start: float,
+                  end: float) -> Iterator[tuple[float, float]]:
+        """Yield ``(duration, value)`` for each constant segment in range."""
+        if end <= start:
+            return
+        value = self.at(start)
+        t = start
+        lo = bisect.bisect_right(self._times, start)
+        hi = bisect.bisect_left(self._times, end)
+        for i in range(lo, hi):
+            yield self._times[i] - t, value
+            t, value = self._times[i], self._values[i]
+        yield end - t, value
+
+    def integral(self, start: float, end: float) -> float:
+        """∫ signal dt over ``[start, end)`` (e.g. energy from power)."""
+        return math.fsum(d * v for d, v in self._segments(start, end))
+
+    def mean(self, start: float, end: float) -> float:
+        """Time-weighted mean over ``[start, end)``."""
+        if end <= start:
+            raise ValueError("empty interval")
+        return self.integral(start, end) / (end - start)
+
+    def variance(self, start: float, end: float) -> float:
+        """Time-weighted population variance over ``[start, end)``."""
+        mu = self.mean(start, end)
+        second = math.fsum(d * (v - mu) ** 2
+                           for d, v in self._segments(start, end))
+        return second / (end - start)
+
+    def std(self, start: float, end: float) -> float:
+        """Time-weighted standard deviation over ``[start, end)``."""
+        return math.sqrt(self.variance(start, end))
+
+    def maximum(self, start: float, end: float) -> float:
+        """Maximum signal value attained in ``[start, end)``."""
+        best: Optional[float] = None
+        for duration, value in self._segments(start, end):
+            if duration > 0 and (best is None or value > best):
+                best = value
+        if best is None:
+            raise ValueError("empty interval")
+        return best
+
+    def minimum(self, start: float, end: float) -> float:
+        """Minimum signal value attained in ``[start, end)``."""
+        worst: Optional[float] = None
+        for duration, value in self._segments(start, end):
+            if duration > 0 and (worst is None or value < worst):
+                worst = value
+        if worst is None:
+            raise ValueError("empty interval")
+        return worst
+
+    def max_step(self, start: float, end: float) -> float:
+        """Largest instantaneous upward jump in ``[start, end)``.
+
+        This is the paper's "sudden rise in load": the biggest one-instant
+        increase of the signal.
+        """
+        biggest = 0.0
+        previous = self.at(start)
+        lo = bisect.bisect_right(self._times, start)
+        hi = bisect.bisect_left(self._times, end)
+        for i in range(lo, hi):
+            jump = self._values[i] - previous
+            if jump > biggest:
+                biggest = jump
+            previous = self._values[i]
+        return biggest
+
+
+class Counter:
+    """A monotonically increasing named tally (packets sent, rounds run...)."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only count up")
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class GaugeSum:
+    """Aggregates many per-contributor gauges into one :class:`StepSeries`.
+
+    Each contributor publishes its own level (e.g. one appliance's power
+    draw); the gauge records the *sum* whenever any contributor changes.
+    """
+
+    def __init__(self, name: str = ""):
+        self.series = StepSeries(name)
+        self._levels: dict[object, float] = {}
+        self._total = 0.0
+
+    @property
+    def total(self) -> float:
+        """Current aggregate level."""
+        return self._total
+
+    def set_level(self, key: object, level: float, time: float) -> None:
+        """Set contributor ``key``'s level at ``time`` and record the sum."""
+        self._total += level - self._levels.get(key, 0.0)
+        self._levels[key] = level
+        # Clamp tiny float residue so long runs don't drift below zero.
+        if abs(self._total) < 1e-9:
+            self._total = 0.0
+        self.series.record(time, self._total)
+
+    def level_of(self, key: object) -> float:
+        """Current level of one contributor."""
+        return self._levels.get(key, 0.0)

@@ -1,0 +1,125 @@
+"""Generator-backed processes for the discrete-event kernel.
+
+A process wraps a generator that ``yield``-s :class:`~repro.sim.events.Event`
+instances.  Each yield suspends the process until the event fires; the
+process then resumes with the event's value (or the failure exception is
+thrown into the generator).  A :class:`Process` is itself an event that fires
+when the generator returns, which lets processes wait on each other.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.sim.errors import Interrupt
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+ProcessGenerator = Generator[Event, object, object]
+
+
+class Process(Event):
+    """A running simulation process; also an event firing on completion."""
+
+    __slots__ = ("generator", "name", "_target", "_resume")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator,
+                 name: Optional[str] = None):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: event the process is currently waiting on (None when runnable)
+        self._target: Optional[Event] = None
+        # Kick-start: resume at the current instant via an initializer event.
+        self._resume = Event(sim)
+        self._resume.callbacks.append(self._step)
+        self._resume.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at its wait point.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is about to resume anyway is allowed (the interrupt wins).
+        """
+        if self.triggered:
+            raise RuntimeError(f"{self} has terminated and cannot be interrupted")
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._step)
+            except ValueError:  # pragma: no cover - already detached
+                pass
+        interrupt_event = Event(self.sim)
+        interrupt_event.callbacks.append(self._step_interrupt)
+        interrupt_event.fail(Interrupt(cause))
+        interrupt_event._defused = True
+
+    # -- stepping ----------------------------------------------------------
+
+    def _step(self, event: Event) -> None:
+        """Resume the generator with ``event``'s outcome."""
+        self._target = None
+        self.sim._active_process = self
+        try:
+            if event.ok:
+                next_event = self.generator.send(event.value)
+            else:
+                event._defused = True
+                next_event = self.generator.throw(event.value)  # type: ignore[arg-type]
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        finally:
+            self.sim._active_process = None
+        self._wait_for(next_event)
+
+    def _step_interrupt(self, event: Event) -> None:
+        """Resume the generator by throwing the interrupt."""
+        self._target = None
+        self.sim._active_process = self
+        try:
+            next_event = self.generator.throw(event.value)  # type: ignore[arg-type]
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        finally:
+            self.sim._active_process = None
+        self._wait_for(next_event)
+
+    def _wait_for(self, event: Event) -> None:
+        if not isinstance(event, Event):
+            raise RuntimeError(
+                f"process {self.name!r} yielded {event!r}, expected an Event")
+        if event.sim is not self.sim:
+            raise RuntimeError(
+                f"process {self.name!r} yielded an event from another simulator")
+        self._target = event
+        if event.callbacks is None:
+            # Event already processed: resume at the current instant.
+            resume = Event(self.sim)
+            resume.callbacks.append(self._step)
+            if event.ok:
+                resume.succeed(event.value)
+            else:
+                event._defused = True
+                resume.fail(event.value)  # type: ignore[arg-type]
+                resume._defused = True
+        else:
+            event.callbacks.append(self._step)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<Process {self.name!r} at {id(self):#x}>"

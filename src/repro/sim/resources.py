@@ -1,0 +1,119 @@
+"""Shared-resource primitives built on the kernel.
+
+:class:`Resource` models a capacity-limited server with a FIFO wait queue
+(e.g. a radio transceiver that can serve one frame at a time).
+:class:`Store` is an unbounded FIFO hand-off buffer between processes
+(e.g. a MAC-layer transmit queue).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Generator, Optional
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class Request(Event):
+    """Pending acquisition of a :class:`Resource` slot."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.sim)
+        self.resource = resource
+        resource._admit(self)
+
+    def release(self) -> None:
+        """Give the slot back (no-op if never granted)."""
+        self.resource._release(self)
+
+
+class Resource:
+    """A server with ``capacity`` slots and a FIFO queue of waiters."""
+
+    def __init__(self, sim: "Simulator", capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._users: set[Request] = set()
+        self._waiting: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Ask for a slot; yield the returned event to wait for the grant."""
+        return Request(self)
+
+    def _admit(self, request: Request) -> None:
+        if len(self._users) < self.capacity:
+            self._users.add(request)
+            request.succeed()
+        else:
+            self._waiting.append(request)
+
+    def _release(self, request: Request) -> None:
+        if request in self._users:
+            self._users.remove(request)
+            while self._waiting and len(self._users) < self.capacity:
+                successor = self._waiting.popleft()
+                self._users.add(successor)
+                successor.succeed()
+        else:
+            # Cancelled while waiting.
+            try:
+                self._waiting.remove(request)
+            except ValueError:
+                pass
+
+    def acquire(self) -> Generator[Event, object, Request]:
+        """Convenience sub-process: ``req = yield from resource.acquire()``."""
+        request = self.request()
+        yield request
+        return request
+
+
+class Store:
+    """Unbounded FIFO buffer with blocking ``get``."""
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._items: Deque[object] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: object) -> None:
+        """Deposit ``item``; wakes the oldest blocked getter, if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event yielding the next item (immediately if one is buffered)."""
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def drain(self) -> list[object]:
+        """Remove and return all buffered items without blocking."""
+        items = list(self._items)
+        self._items.clear()
+        return items

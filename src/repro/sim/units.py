@@ -1,0 +1,54 @@
+"""Unit conventions and conversion constants.
+
+The kernel clock is dimensionless; throughout this project it denotes
+**seconds**.  Power values are **watts** and energy values **joules** unless
+a name says otherwise (``_kw``, ``_kwh``).
+"""
+
+from __future__ import annotations
+
+#: One second of simulated time.
+SECOND: float = 1.0
+#: One millisecond.
+MILLISECOND: float = 1e-3
+#: One microsecond.
+MICROSECOND: float = 1e-6
+#: One minute.
+MINUTE: float = 60.0
+#: One hour.
+HOUR: float = 3600.0
+#: One day.
+DAY: float = 86400.0
+
+#: One kilowatt, in watts.
+KILOWATT: float = 1000.0
+
+
+def watts_to_kw(watts: float) -> float:
+    """Convert watts to kilowatts."""
+    return watts / KILOWATT
+
+
+def kw_to_watts(kilowatts: float) -> float:
+    """Convert kilowatts to watts."""
+    return kilowatts * KILOWATT
+
+
+def joules_to_kwh(joules: float) -> float:
+    """Convert joules to kilowatt-hours."""
+    return joules / (KILOWATT * HOUR)
+
+
+def per_hour_to_per_second(rate_per_hour: float) -> float:
+    """Convert an event rate expressed per hour to per second."""
+    return rate_per_hour / HOUR
+
+
+def minutes(value: float) -> float:
+    """``value`` minutes expressed in simulation seconds."""
+    return value * MINUTE
+
+
+def hours(value: float) -> float:
+    """``value`` hours expressed in simulation seconds."""
+    return value * HOUR

@@ -1,0 +1,79 @@
+"""Many-to-one collection and one-to-many dissemination (ref [8]).
+
+The centralized-but-ST variant: every round the DIs flood their items toward
+a *sink* (the controller), which computes a schedule and floods it back.
+Used by the ST-vs-AT ablation to separate the cost of centralisation from
+the cost of asynchronous communication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.radio.energy import EnergyMeter
+from repro.radio.medium import FloodMedium
+from repro.st.glossy import FloodResult, GlossyConfig, run_flood
+from repro.st.minicast import MiniCastConfig
+
+
+@dataclass
+class CollectionOutcome:
+    """Result of one collect + disseminate round."""
+
+    sink: int
+    #: origins whose item reached the sink
+    collected: set[int] = field(default_factory=set)
+    #: nodes that decoded the sink's dissemination flood
+    informed: set[int] = field(default_factory=set)
+    duration: float = 0.0
+    floods: list[FloodResult] = field(default_factory=list)
+
+
+class ManyToOne:
+    """Collection rounds: TDMA floods toward a sink, one reply flood back."""
+
+    def __init__(self, medium: FloodMedium,
+                 config: Optional[MiniCastConfig] = None):
+        self.medium = medium
+        self.config = config or MiniCastConfig()
+
+    def run_round(self, participants: Iterable[int], sink: int,
+                  energy: Optional[dict[int, EnergyMeter]] = None,
+                  ) -> CollectionOutcome:
+        """Collect every participant's item at ``sink`` and flood the reply."""
+        nodes = sorted(set(participants))
+        if sink not in nodes:
+            raise ValueError(f"sink {sink} not among participants")
+        outcome = CollectionOutcome(sink=sink)
+        elapsed = 0.0
+        slot = self.config.flood.slot_length
+        agg = max(self.config.aggregation, 1)
+        sources = [n for n in nodes if n != sink]
+        for i in range(0, len(sources), agg):
+            group = sources[i:i + agg]
+            flood = run_flood(self.medium, group[0], nodes, self.config.flood)
+            outcome.floods.append(flood)
+            if sink in flood.receivers:
+                outcome.collected.update(group)
+            elapsed += flood.duration + self.config.inter_flood_gap
+            self._charge(energy, nodes, flood, slot)
+        # Sink floods the computed schedule back out.
+        reply = run_flood(self.medium, sink, nodes, self.config.flood)
+        outcome.floods.append(reply)
+        outcome.informed = reply.receivers | {sink}
+        elapsed += reply.duration
+        self._charge(energy, nodes, reply, slot)
+        outcome.duration = elapsed
+        return outcome
+
+    @staticmethod
+    def _charge(energy: Optional[dict[int, EnergyMeter]],
+                nodes: Iterable[int], flood: FloodResult,
+                slot: float) -> None:
+        if energy is None:
+            return
+        for node in nodes:
+            tx_time = flood.tx_counts.get(node, 0) * slot
+            energy[node].add("tx", tx_time)
+            energy[node].add("rx", max(flood.duration - tx_time, 0.0))

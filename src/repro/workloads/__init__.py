@@ -1,0 +1,33 @@
+"""Workload generators and the paper's evaluation scenarios."""
+
+from repro.workloads.arrivals import (
+    ArrivalStats,
+    BatchArrivals,
+    MmppArrivals,
+    PoissonArrivals,
+    fixed_demand,
+    geometric_demand,
+)
+from repro.workloads.scenarios import (
+    FIG2A_RATE,
+    PAPER_RATES,
+    Scenario,
+    burst_scenario,
+    paper_scenario,
+    stress_scenario,
+)
+
+__all__ = [
+    "ArrivalStats",
+    "BatchArrivals",
+    "FIG2A_RATE",
+    "MmppArrivals",
+    "PAPER_RATES",
+    "PoissonArrivals",
+    "Scenario",
+    "burst_scenario",
+    "fixed_demand",
+    "geometric_demand",
+    "paper_scenario",
+    "stress_scenario",
+]

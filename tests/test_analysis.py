@@ -1,0 +1,143 @@
+"""Load statistics and text reporting."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    ComparisonResult,
+    coefficient_of_variation,
+    format_table,
+    load_stats,
+    mean_and_std,
+    peak_to_average_ratio,
+    percent_reduction,
+    ramp_events,
+    relative_difference,
+    render_series,
+    side_by_side_series,
+    sparkline,
+)
+from repro.sim import StepSeries
+
+
+def series_of(points):
+    series = StepSeries()
+    for t, v in points:
+        series.record(t, v)
+    return series
+
+
+def test_load_stats_basic():
+    series = series_of([(0.0, 1000.0), (1800.0, 3000.0)])
+    stats = load_stats(series, 0.0, 3600.0)
+    assert stats.peak_kw == pytest.approx(3.0)
+    assert stats.mean_kw == pytest.approx(2.0)
+    assert stats.min_kw == pytest.approx(1.0)
+    assert stats.max_step_kw == pytest.approx(2.0)
+    assert stats.energy_kwh == pytest.approx(2.0)
+    assert stats.std_kw == pytest.approx(1.0)
+
+
+def test_load_stats_rejects_empty_window():
+    with pytest.raises(ValueError):
+        load_stats(series_of([(0.0, 1.0)]), 5.0, 5.0)
+
+
+def test_percent_reduction():
+    assert percent_reduction(10.0, 5.0) == pytest.approx(50.0)
+    assert percent_reduction(10.0, 12.0) == pytest.approx(-20.0)
+    assert percent_reduction(0.0, 5.0) == 0.0
+
+
+def test_relative_difference():
+    assert relative_difference(10.0, 10.0) == 0.0
+    assert relative_difference(10.0, 5.0) == pytest.approx(0.5)
+    assert relative_difference(0.0, 0.0) == 0.0
+
+
+def test_comparison_result_properties():
+    coordinated = load_stats(series_of([(0.0, 5000.0)]), 0.0, 3600.0)
+    uncoordinated = load_stats(
+        series_of([(0.0, 2000.0), (1800.0, 10000.0)]), 0.0, 3600.0)
+    comparison = ComparisonResult(coordinated=coordinated,
+                                  uncoordinated=uncoordinated)
+    assert comparison.peak_reduction_pct == pytest.approx(50.0)
+    assert comparison.std_reduction_pct == pytest.approx(100.0)
+    # both average 5 kW and 6 kW -> drift about 16.7%
+    assert comparison.mean_drift_pct == pytest.approx(16.67, abs=0.1)
+
+
+def test_mean_and_std():
+    mean, std = mean_and_std([1.0, 2.0, 3.0])
+    assert mean == pytest.approx(2.0)
+    assert std == pytest.approx(math.sqrt(2 / 3))
+    with pytest.raises(ValueError):
+        mean_and_std([])
+
+
+def test_coefficient_of_variation():
+    series = series_of([(0.0, 0.0), (50.0, 2000.0)])
+    cv = coefficient_of_variation(series, 0.0, 100.0)
+    assert cv == pytest.approx(1.0)
+    flat = series_of([(0.0, 0.0)])
+    assert coefficient_of_variation(flat, 0.0, 10.0) == 0.0
+
+
+def test_ramp_events_counts_big_jumps():
+    series = series_of([(0.0, 0.0), (10.0, 500.0), (20.0, 2500.0),
+                        (30.0, 2600.0), (40.0, 6000.0)])
+    assert ramp_events(series, 0.0, 50.0, threshold_w=1000.0) == 2
+
+
+def test_peak_to_average_ratio():
+    stats = load_stats(series_of([(0.0, 1000.0), (50.0, 3000.0)]),
+                       0.0, 100.0)
+    assert peak_to_average_ratio(stats) == pytest.approx(1.5)
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [["a", 1.234], ["bb", 10.0]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "1.23" in lines[2]
+    assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+
+def test_format_table_title():
+    text = format_table(["x"], [[1]], title="T")
+    assert text.startswith("T\n")
+
+
+def test_sparkline_range():
+    line = sparkline([0.0, 1.0, 2.0, 3.0])
+    assert len(line) == 4
+    assert line[0] == "▁"
+    assert line[-1] == "█"
+    assert sparkline([]) == ""
+    assert sparkline([5.0, 5.0]) == "▁▁"
+
+
+def test_sparkline_downsamples():
+    line = sparkline(list(range(1000)), width=50)
+    assert len(line) == 50
+
+
+def test_render_series_rows():
+    series = series_of([(0.0, 1000.0)])
+    text = render_series(series, 0.0, 180.0, 60.0, label="load",
+                         value_scale=1e-3)
+    lines = text.splitlines()
+    assert lines[0] == "# load"
+    assert len(lines) == 2 + 3  # header rows + 3 samples
+    assert lines[2].endswith("1.000")
+
+
+def test_side_by_side_series():
+    a = series_of([(0.0, 1000.0)])
+    b = series_of([(0.0, 2000.0)])
+    text = side_by_side_series({"a": a, "b": b}, 0.0, 120.0, 60.0,
+                               value_scale=1e-3)
+    lines = text.splitlines()
+    assert lines[0] == "t_min\ta\tb"
+    assert lines[1] == "0.0\t1.000\t2.000"

@@ -1,0 +1,113 @@
+"""CSV / JSON exporters and the experiment registry."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    multi_series_to_csv,
+    requests_to_csv,
+    run_result_to_json,
+    series_to_csv,
+    stats_to_dict,
+)
+from repro.analysis.loadstats import load_stats
+from repro.core import HanConfig, run_experiment
+from repro.experiments.registry import REGISTRY, all_experiments, get
+from repro.sim import StepSeries
+from repro.sim.units import MINUTE
+from repro.workloads import paper_scenario
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment(
+        HanConfig(scenario=paper_scenario("high"), policy="coordinated",
+                  cp_fidelity="ideal", seed=1), until=60 * MINUTE)
+
+
+def make_series():
+    series = StepSeries()
+    series.record(0.0, 1000.0)
+    series.record(120.0, 3000.0)
+    return series
+
+
+def test_series_to_csv(tmp_path):
+    path = series_to_csv(make_series(), tmp_path / "load.csv",
+                         0.0, 300.0, 60.0)
+    rows = list(csv.reader(path.open()))
+    assert rows[0] == ["time_min", "load_kw"]
+    assert len(rows) == 6
+    assert float(rows[1][1]) == pytest.approx(1.0)
+    assert float(rows[4][1]) == pytest.approx(3.0)
+
+
+def test_multi_series_to_csv(tmp_path):
+    path = multi_series_to_csv({"a": make_series(), "b": make_series()},
+                               tmp_path / "both.csv", 0.0, 180.0, 60.0)
+    rows = list(csv.reader(path.open()))
+    assert rows[0] == ["time_min", "a", "b"]
+    assert len(rows) == 4
+
+
+def test_stats_to_dict_roundtrip():
+    stats = load_stats(make_series(), 0.0, 240.0)
+    payload = stats_to_dict(stats)
+    assert payload["peak_kw"] == pytest.approx(3.0)
+    assert payload["window"] == [0.0, 240.0]
+    json.dumps(payload)  # must be JSON-serializable
+
+
+def test_run_result_to_json(tmp_path, result):
+    path = run_result_to_json(result, tmp_path / "run.json")
+    payload = json.loads(path.read_text())
+    assert payload["config"]["policy"] == "coordinated"
+    assert payload["config"]["n_devices"] == 26
+    assert payload["stats"]["peak_kw"] > 0
+    assert len(payload["requests"]) == len(result.requests)
+    assert payload["cp"]["rounds_total"] > 0
+    assert len(payload["load_trace"]["time_s"]) == \
+        len(payload["load_trace"]["load_w"])
+
+
+def test_run_result_to_json_without_trace(tmp_path, result):
+    path = run_result_to_json(result, tmp_path / "run.json",
+                              sample_step=None)
+    payload = json.loads(path.read_text())
+    assert "load_trace" not in payload
+
+
+def test_requests_to_csv(tmp_path, result):
+    path = requests_to_csv(result, tmp_path / "requests.csv")
+    rows = list(csv.reader(path.open()))
+    assert rows[0][0] == "request_id"
+    assert len(rows) == 1 + len(result.requests)
+
+
+def test_registry_covers_design_index():
+    expected = {"FIG1", "FIG2A", "FIG2B", "FIG2C", "HEADLINE",
+                "ABL-CP-PERIOD", "ABL-LOSS", "ABL-SCALE", "ABL-SLOTS",
+                "ABL-VARIANTS", "ABL-ST-VS-AT", "ABL-SPOF"}
+    assert set(REGISTRY) == expected
+
+
+def test_registry_lookup():
+    experiment = get("FIG2A")
+    assert experiment.paper_artefact == "Figure 2(a)"
+    assert callable(experiment.regenerate)
+    with pytest.raises(KeyError, match="known:"):
+        get("FIG99")
+
+
+def test_all_experiments_sorted():
+    ids = [e.exp_id for e in all_experiments()]
+    assert ids == sorted(ids)
+
+
+def test_registry_benches_exist():
+    from pathlib import Path
+    root = Path(__file__).parent.parent
+    for experiment in all_experiments():
+        assert (root / experiment.bench).exists(), experiment.bench

@@ -1,0 +1,98 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_command(capsys):
+    code, out = run_cli(capsys, "run", "--policy", "uncoordinated",
+                        "--fidelity", "ideal", "--horizon-min", "60",
+                        "--rate", "18")
+    assert code == 0
+    assert "peak load" in out
+    assert "uncoordinated" in out
+
+
+def test_run_command_custom_devices(capsys):
+    code, out = run_cli(capsys, "run", "--policy", "coordinated",
+                        "--fidelity", "ideal", "--horizon-min", "40",
+                        "--devices", "8")
+    assert code == 0
+    assert "coordinated" in out
+
+
+def test_fig2a_command(capsys):
+    code, out = run_cli(capsys, "fig2a", "--fidelity", "ideal",
+                        "--horizon-min", "60")
+    assert code == 0
+    assert "Figure 2(a)" in out
+
+
+def test_fig2b_command(capsys):
+    code, out = run_cli(capsys, "fig2b", "--fidelity", "ideal",
+                        "--horizon-min", "45", "--seeds", "1")
+    assert code == 0
+    assert "Figure 2(b)" in out
+    assert "reduction" in out
+
+
+def test_cp_trace_command(capsys):
+    code, out = run_cli(capsys, "cp-trace", "--rounds", "3")
+    assert code == 0
+    assert "Communication Plane" in out
+
+
+def test_ablation_command(capsys):
+    code, out = run_cli(capsys, "ablation", "st-vs-at")
+    assert code == 0
+    assert "ABL-ST-VS-AT" in out
+
+
+def test_unknown_ablation_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["ablation", "quantum"])
+
+
+def test_list_command(capsys):
+    code, out = run_cli(capsys, "list")
+    assert code == 0
+    assert "FIG2A" in out
+    assert "ABL-SPOF" in out
+
+
+def test_run_export_json(capsys, tmp_path):
+    target = tmp_path / "result.json"
+    code, out = run_cli(capsys, "run", "--policy", "coordinated",
+                        "--fidelity", "ideal", "--horizon-min", "30",
+                        "--export-json", str(target))
+    assert code == 0
+    assert target.exists()
+    import json
+    payload = json.loads(target.read_text())
+    assert payload["config"]["policy"] == "coordinated"
+
+
+def test_examples_are_importable():
+    """Every example script must at least parse and expose main()."""
+    import importlib.util
+    from pathlib import Path
+    examples = Path(__file__).parent.parent / "examples"
+    scripts = sorted(examples.glob("*.py"))
+    assert len(scripts) >= 4
+    for script in scripts:
+        spec = importlib.util.spec_from_file_location(script.stem, script)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert hasattr(module, "main"), script.name

@@ -1,0 +1,205 @@
+"""Uncoordinated and centralized baselines."""
+
+import pytest
+
+from repro.core import (
+    CentralController,
+    CentralizedAgent,
+    SchedulerConfig,
+    UncoordinatedAgent,
+)
+from repro.han import DutyCycleSpec, SmartMeter, Type2Appliance
+from repro.han.requests import RequestState, UserRequest
+from repro.sim import Simulator
+
+SPEC = DutyCycleSpec(min_dcd=900.0, max_dcp=1800.0)
+
+
+def make_uncoordinated(sim, device_id=0, meter=None):
+    appliance = Type2Appliance(sim, device_id, f"dev-{device_id}", 1000.0,
+                               SPEC, meter=meter)
+    return UncoordinatedAgent(sim, appliance, SchedulerConfig(spec=SPEC))
+
+
+def test_uncoordinated_starts_immediately():
+    sim = Simulator()
+    agent = make_uncoordinated(sim)
+
+    def emit(sim):
+        yield sim.timeout(5.0)
+        agent.on_request(UserRequest(device_id=0, arrival_time=5.0))
+
+    sim.spawn(emit(sim))
+    sim.run(until=10.0)
+    assert agent.device.is_on
+    assert agent.device.history[0].on_at == pytest.approx(5.0)
+
+
+def test_uncoordinated_free_runs_duty_cycle():
+    sim = Simulator()
+    agent = make_uncoordinated(sim)
+
+    def emit(sim):
+        yield sim.timeout(1.0)
+        agent.on_request(UserRequest(device_id=0, arrival_time=1.0,
+                                     demand_cycles=3))
+
+    sim.spawn(emit(sim))
+    sim.run(until=3 * SPEC.max_dcp + 100.0)
+    history = agent.device.history
+    assert len(history) == 3
+    assert history[0].on_at == pytest.approx(1.0)
+    assert history[1].on_at == pytest.approx(1.0 + SPEC.max_dcp)
+    assert history[2].on_at == pytest.approx(1.0 + 2 * SPEC.max_dcp)
+
+
+def test_uncoordinated_stacking_is_the_problem():
+    """Simultaneous requests all start at once: the paper's bad case."""
+    sim = Simulator()
+    meter = SmartMeter(sim)
+    agents = [make_uncoordinated(sim, device_id=i, meter=meter.gauge)
+              for i in range(5)]
+
+    def emit(sim):
+        yield sim.timeout(2.0)
+        for i, agent in enumerate(agents):
+            agent.on_request(UserRequest(device_id=i, arrival_time=2.0))
+
+    sim.spawn(emit(sim))
+    sim.run(until=SPEC.max_dcp)
+    assert meter.load_series_w.maximum(0.0, SPEC.max_dcp) == \
+        pytest.approx(5000.0)
+    # and the jump is one big 5 kW step
+    assert meter.load_series_w.max_step(0.0, SPEC.max_dcp) == \
+        pytest.approx(5000.0)
+
+
+def test_uncoordinated_extension_while_running():
+    sim = Simulator()
+    agent = make_uncoordinated(sim)
+
+    def emit(sim):
+        yield sim.timeout(1.0)
+        agent.on_request(UserRequest(device_id=0, arrival_time=1.0))
+        yield sim.timeout(100.0)
+        agent.on_request(UserRequest(device_id=0, arrival_time=101.0))
+
+    sim.spawn(emit(sim))
+    sim.run(until=3 * SPEC.max_dcp)
+    assert agent.device.bursts_completed == 2
+    assert all(r.state is RequestState.COMPLETED
+               for r in agent.requests.values())
+
+
+def build_centralized(n=4):
+    sim = Simulator()
+    meter = SmartMeter(sim)
+    config = SchedulerConfig(spec=SPEC)
+    agents = {}
+
+    def disseminate(version, decisions):
+        for agent in agents.values():
+            agent.on_schedule(decisions)
+
+    controller = CentralController(config, disseminate, lambda: sim.now)
+
+    def submit(origin, payload):
+        controller.on_report(origin, payload)
+
+    for device_id in range(n):
+        appliance = Type2Appliance(sim, device_id, f"dev-{device_id}",
+                                   1000.0, SPEC, meter=meter.gauge)
+        agent = CentralizedAgent(sim, appliance, config, submit)
+        agents[device_id] = agent
+        sim.spawn(agent.execution_plane())
+    return sim, meter, controller, agents
+
+
+def test_centralized_admits_and_executes():
+    sim, meter, controller, agents = build_centralized()
+    request = UserRequest(device_id=1, arrival_time=0.0)
+
+    def emit(sim):
+        yield sim.timeout(1.0)
+        agents[1].on_request(request)
+
+    sim.spawn(emit(sim))
+    sim.run(until=2 * SPEC.max_dcp)
+    assert request.state is RequestState.COMPLETED
+    assert controller.decisions_made == 1
+
+
+def test_centralized_serializes_like_coordinated():
+    sim, meter, controller, agents = build_centralized()
+
+    def emit(sim):
+        yield sim.timeout(1.0)
+        for i in range(3):
+            agents[i].on_request(UserRequest(device_id=i,
+                                             arrival_time=sim.now))
+
+    sim.spawn(emit(sim))
+    sim.run(until=3 * SPEC.max_dcp)
+    # 3 x 15 min of demand staggered: never more than 2 devices at once
+    assert meter.load_series_w.maximum(0.0, sim.now) <= 2000.0
+
+
+def test_centralized_duplicate_schedule_ignored():
+    """Replayed disseminations (same decisions) must not double demand."""
+    sim, meter, controller, agents = build_centralized(n=2)
+    captured = []
+    controller.disseminate = lambda version, d: captured.append(d)
+    agents[0].on_request(UserRequest(device_id=0, arrival_time=0.0))
+    assert len(captured) == 1
+    agents[0].on_schedule(captured[0])
+    agents[0].on_schedule(captured[0])  # duplicate delivery
+    sim.run(until=3 * SPEC.max_dcp)
+    assert agents[0].device.bursts_completed == 1
+
+
+def test_controller_failure_blocks_admission():
+    sim, meter, controller, agents = build_centralized(n=2)
+    controller.fail()
+    request = UserRequest(device_id=0, arrival_time=0.0)
+    agents[0].on_request(request)
+    sim.run(until=2 * SPEC.max_dcp)
+    assert request.state is RequestState.PENDING
+    assert agents[0].device.bursts_completed == 0
+
+
+def test_controller_overlay_lifecycle():
+    """Overlays hold planned state until the DI's report catches up."""
+    from repro.core.scheduler import SchedulerConfig as Cfg
+    from repro.core.state import DeviceStatus
+    from repro.han.requests import RequestAnnouncement
+
+    sent = []
+    controller = CentralController(Cfg(spec=SPEC),
+                                   disseminate=lambda v, d: sent.append(d),
+                                   now=lambda: 0.0)
+    announcement = RequestAnnouncement(request_id=5, device_id=0,
+                                       arrival_time=0.0, demand_cycles=1,
+                                       power_w=1000.0)
+    controller.on_report(0, ("request", announcement))
+    assert 0 in controller._overlays
+    assert controller._overlays[0].active
+    # a stale DI status (pre-admission) keeps the overlay
+    controller.on_report(0, ("status", DeviceStatus(
+        device_id=0, version=1, active=False, remaining_cycles=0,
+        assigned_slot=None, power_w=1000.0, last_admitted_request=0)))
+    assert 0 in controller._overlays
+    # once the DI echoes the admission, the overlay is dropped
+    controller.on_report(0, ("status", DeviceStatus(
+        device_id=0, version=2, active=True, remaining_cycles=1,
+        assigned_slot=None, power_w=1000.0, last_admitted_request=5,
+        burst_start=0.0)))
+    assert 0 not in controller._overlays
+
+
+def test_centralized_direct_transport_clears_overlay_synchronously():
+    sim, meter, controller, agents = build_centralized(n=2)
+    agents[0].on_request(UserRequest(device_id=0, arrival_time=0.0))
+    # direct transport: the DI's status echo arrives in the same call
+    assert 0 not in controller._overlays
+    status = controller.view.status_of(0)
+    assert status is not None and status.active

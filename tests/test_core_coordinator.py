@@ -1,0 +1,144 @@
+"""CoordinatedAgent behaviour with an ideal CP."""
+
+import pytest
+
+from repro.core import CoordinatedAgent, SchedulerConfig
+from repro.han import DutyCycleSpec, SmartMeter, Type2Appliance
+from repro.han.requests import RequestState, UserRequest
+from repro.sim import Simulator
+from repro.st import IdealCP
+
+SPEC = DutyCycleSpec(min_dcd=900.0, max_dcp=1800.0)
+
+
+class Harness:
+    """n coordinated agents wired to an IdealCP."""
+
+    def __init__(self, n=4, period=2.0):
+        self.sim = Simulator()
+        self.meter = SmartMeter(self.sim)
+        config = SchedulerConfig(spec=SPEC)
+        self.agents = {}
+        for device_id in range(n):
+            appliance = Type2Appliance(self.sim, device_id,
+                                       f"dev-{device_id}", 1000.0, SPEC,
+                                       meter=self.meter.gauge)
+            agent = CoordinatedAgent(self.sim, appliance, config)
+            self.agents[device_id] = agent
+            self.sim.spawn(agent.execution_plane())
+        self.cp = IdealCP(self.sim, self, list(range(n)), period=period)
+        self.cp.start()
+
+    def cp_payload(self, node, round_index):
+        return self.agents[node].cp_payload(node, round_index)
+
+    def cp_deliver(self, node, packets, round_index):
+        self.agents[node].cp_deliver(node, packets, round_index)
+
+    def request(self, device_id, at, cycles=1):
+        request = UserRequest(device_id=device_id, arrival_time=at,
+                              demand_cycles=cycles)
+
+        def emit(sim):
+            yield sim.timeout(at - sim.now)
+            self.agents[device_id].on_request(request)
+
+        self.sim.spawn(emit(self.sim))
+        return request
+
+
+def test_request_admitted_within_one_round():
+    harness = Harness()
+    request = harness.request(0, at=1.0)
+    harness.sim.run(until=10.0)
+    assert request.state in (RequestState.ADMITTED, RequestState.RUNNING)
+    assert request.admitted_at is not None
+    assert request.admitted_at - request.arrival_time <= 2.0 + 1e-9
+
+
+def test_request_executes_full_burst():
+    harness = Harness()
+    request = harness.request(0, at=1.0)
+    harness.sim.run(until=3600.0)
+    assert request.state is RequestState.COMPLETED
+    appliance = harness.agents[0].device
+    assert appliance.total_on_time() == pytest.approx(SPEC.min_dcd)
+    assert request.first_burst_at - request.arrival_time <= SPEC.max_dcp
+
+
+def test_all_agents_learn_request():
+    harness = Harness()
+    harness.request(0, at=1.0)
+    harness.sim.run(until=5.0)
+    for agent in harness.agents.values():
+        status = agent.view.status_of(0)
+        assert status is not None and status.active
+
+
+def test_views_converge_after_round():
+    harness = Harness()
+    harness.request(0, at=1.0)
+    harness.request(2, at=1.5)
+    harness.sim.run(until=7.0)
+    digests = {agent.view.consistency_digest()
+               for agent in harness.agents.values()}
+    assert len(digests) == 1
+
+
+def test_two_simultaneous_requests_serialized():
+    harness = Harness()
+    first = harness.request(0, at=1.0)
+    second = harness.request(1, at=1.0)
+    harness.sim.run(until=2 * SPEC.max_dcp + 100.0)
+    assert first.state is RequestState.COMPLETED
+    assert second.state is RequestState.COMPLETED
+    # their ON intervals must not overlap (load never exceeded 1 device)
+    load = harness.meter.load_series_w
+    assert load.maximum(0.0, harness.sim.now) == pytest.approx(1000.0)
+
+
+def test_multi_cycle_demand_runs_once_per_period():
+    harness = Harness()
+    request = harness.request(0, at=1.0, cycles=3)
+    harness.sim.run(until=4 * SPEC.max_dcp)
+    assert request.state is RequestState.COMPLETED
+    appliance = harness.agents[0].device
+    assert appliance.bursts_completed == 3
+    bursts = appliance.history
+    for earlier, later in zip(bursts, bursts[1:]):
+        gap = later.on_at - earlier.on_at
+        assert gap == pytest.approx(SPEC.max_dcp)
+
+
+def test_extension_request_adds_cycles():
+    harness = Harness()
+    first = harness.request(0, at=1.0, cycles=1)
+    second = harness.request(0, at=5.0, cycles=1)
+    harness.sim.run(until=3 * SPEC.max_dcp)
+    assert first.state is RequestState.COMPLETED
+    assert second.state is RequestState.COMPLETED
+    assert harness.agents[0].device.bursts_completed == 2
+
+
+def test_agent_status_reflects_lifecycle():
+    harness = Harness(n=1)
+    agent = harness.agents[0]
+    assert not agent.is_active
+    harness.request(0, at=1.0)
+    harness.sim.run(until=10.0)
+    assert agent.is_active
+    assert agent.remaining_cycles == 1
+    harness.sim.run(until=SPEC.max_dcp + SPEC.min_dcd + 60.0)
+    assert not agent.is_active
+    assert agent.remaining_cycles == 0
+
+
+def test_dirty_flag_controls_payload():
+    harness = Harness(n=2)
+    agent = harness.agents[0]
+    harness.sim.run(until=3.0)  # initial shares happen
+    assert agent.cp_payload(0, 5) is None  # nothing new
+    assert agent.cp_payload(0, -1) is not None  # refresh always answers
+    harness.request(0, at=4.0)
+    harness.sim.run(until=4.5)
+    assert agent.cp_payload(0, 6) is not None  # announcement pending

@@ -1,0 +1,162 @@
+"""Shared view merging: versioned, idempotent, commutative."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CpItem, DeviceStatus, SharedView
+from repro.han.requests import RequestAnnouncement
+
+
+def status(device_id=1, version=1, active=False, remaining=0, slot=None,
+           power=1000.0, last_admitted=0, burst=None):
+    return DeviceStatus(device_id=device_id, version=version, active=active,
+                        remaining_cycles=remaining, assigned_slot=slot,
+                        power_w=power, last_admitted_request=last_admitted,
+                        burst_start=burst)
+
+
+def announcement(request_id, device_id=1, arrival=0.0, cycles=1):
+    return RequestAnnouncement(request_id=request_id, device_id=device_id,
+                               arrival_time=arrival, demand_cycles=cycles,
+                               power_w=1000.0)
+
+
+def test_status_validation():
+    with pytest.raises(ValueError):
+        status(active=True)  # no slot and no burst
+    status(active=True, slot=1)
+    status(active=True, burst=5.0)
+    with pytest.raises(ValueError):
+        status(remaining=-1)
+
+
+def test_merge_newer_version_wins():
+    view = SharedView()
+    view.merge_item(CpItem(status(version=1)))
+    assert view.merge_item(CpItem(status(version=2, active=True, slot=0)))
+    assert view.status_of(1).version == 2
+    assert view.status_of(1).active
+
+
+def test_merge_stale_version_ignored():
+    view = SharedView()
+    view.merge_item(CpItem(status(version=3)))
+    assert not view.merge_item(CpItem(status(version=2, active=True,
+                                             slot=0)))
+    assert not view.status_of(1).active
+
+
+def test_merge_is_idempotent():
+    view = SharedView()
+    item = CpItem(status(version=1), (announcement(10),))
+    assert view.merge_item(item)
+    assert not view.merge_item(item)
+
+
+def test_announcements_enter_pending():
+    view = SharedView()
+    view.merge_item(CpItem(status(version=1), (announcement(5),)))
+    assert 5 in view.pending
+
+
+def test_admitted_announcements_cleared_by_status():
+    view = SharedView()
+    view.merge_item(CpItem(status(version=1), (announcement(5),)))
+    view.merge_item(CpItem(status(version=2, active=True, slot=0,
+                                  last_admitted=5)))
+    assert view.pending == {}
+
+
+def test_already_admitted_announcement_never_enters():
+    view = SharedView()
+    view.merge_item(CpItem(status(version=2, last_admitted=9)))
+    view.merge_item(CpItem(status(version=1), (announcement(5),)))
+    assert 5 not in view.pending
+
+
+def test_pending_ordered_by_arrival_then_id():
+    view = SharedView()
+    view.merge_item(CpItem(
+        status(device_id=1, version=1),
+        (announcement(7, device_id=1, arrival=5.0),)))
+    view.merge_item(CpItem(
+        status(device_id=2, version=1),
+        (announcement(3, device_id=2, arrival=2.0),)))
+    ordered = view.pending_ordered()
+    assert [a.request_id for a in ordered] == [3, 7]
+
+
+def test_active_statuses_sorted():
+    view = SharedView()
+    for device_id in (5, 2, 9):
+        view.merge_item(CpItem(status(device_id=device_id, version=1,
+                                      active=True, slot=0)))
+    assert [s.device_id for s in view.active_statuses()] == [2, 5, 9]
+
+
+def test_digest_equal_for_equal_views():
+    a, b = SharedView(), SharedView()
+    for view in (a, b):
+        view.merge_item(CpItem(status(version=1), (announcement(5),)))
+    assert a.consistency_digest() == b.consistency_digest()
+
+
+def test_digest_differs_on_content():
+    a, b = SharedView(), SharedView()
+    a.merge_item(CpItem(status(version=1)))
+    b.merge_item(CpItem(status(version=2, active=True, slot=1)))
+    assert a.consistency_digest() != b.consistency_digest()
+
+
+@st.composite
+def consistent_histories(draw):
+    """Items a real single-writer DI could emit, across several devices.
+
+    Per device: versions increase, content moves monotonically, and a
+    version-v item never announces requests the device already admitted —
+    exactly the discipline the coordinator enforces.
+    """
+    items = []
+    n_devices = draw(st.integers(1, 4))
+    for device_id in range(1, n_devices + 1):
+        versions = draw(st.integers(1, 4))
+        last_admitted = 0
+        next_request = device_id * 1000
+        for version in range(1, versions + 1):
+            last_admitted += draw(st.integers(0, 2))
+            ann_count = draw(st.integers(0, 2))
+            announcements = []
+            for offset in range(ann_count):
+                rid = next_request + last_admitted + offset + 1
+                announcements.append(announcement(
+                    rid, device_id=device_id,
+                    arrival=draw(st.floats(0, 100))))
+            items.append(CpItem(
+                status(device_id=device_id, version=version,
+                       last_admitted=next_request + last_admitted),
+                tuple(announcements)))
+    return items
+
+
+@given(consistent_histories(), st.randoms())
+@settings(max_examples=200, deadline=None)
+def test_merge_order_insensitive(items, rnd):
+    """Any delivery order of the same items converges to the same view."""
+    forward = SharedView()
+    forward.merge_items(items)
+    shuffled = list(items)
+    rnd.shuffle(shuffled)
+    backward = SharedView()
+    backward.merge_items(shuffled)
+    assert forward.consistency_digest() == backward.consistency_digest()
+
+
+@given(consistent_histories())
+@settings(max_examples=200, deadline=None)
+def test_merge_twice_is_noop(items):
+    view = SharedView()
+    view.merge_items(items)
+    digest = view.consistency_digest()
+    view.merge_items(items)
+    assert view.consistency_digest() == digest

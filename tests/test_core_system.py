@@ -1,0 +1,107 @@
+"""HanSystem composition: policies x fidelities, topology resolution."""
+
+import pytest
+
+from repro.core import HanConfig, HanSystem, make_topology, run_experiment
+from repro.sim.units import MINUTE
+from repro.workloads import paper_scenario
+
+SHORT = 70 * MINUTE  # a couple of epochs; enough for smoke assertions
+
+
+def config(policy="coordinated", fidelity="ideal", **kwargs):
+    return HanConfig(scenario=paper_scenario("high"), policy=policy,
+                     cp_fidelity=fidelity, seed=1, **kwargs)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        config(policy="anarchic")
+    with pytest.raises(ValueError):
+        config(fidelity="perfect")
+
+
+@pytest.mark.parametrize("policy", ["coordinated", "uncoordinated",
+                                    "centralized"])
+def test_policies_run_with_ideal_cp(policy):
+    result = run_experiment(config(policy=policy), until=SHORT)
+    assert result.load_w.at(0.0) == 0.0
+    assert len(result.requests) > 0
+    stats = result.stats(end=SHORT)
+    assert stats.energy_kwh > 0.0
+
+
+@pytest.mark.parametrize("policy", ["coordinated", "uncoordinated"])
+def test_policies_run_with_sampled_cp(policy):
+    result = run_experiment(
+        config(policy=policy, fidelity="round", calibration_rounds=3),
+        until=SHORT)
+    assert result.cp_stats is not None
+    assert result.cp_stats.rounds_total > 0
+    assert result.cp_calibration is not None
+    assert result.cp_calibration.mean_delivery > 0.9
+
+
+def test_coordinated_runs_with_slot_cp():
+    result = run_experiment(config(fidelity="slot"), until=8 * MINUTE)
+    assert result.st_energy is not None
+    assert all(m.radio_on_time > 0 for m in result.st_energy.values())
+    assert result.st_energy_estimate_j() > 0.0
+
+
+def test_centralized_runs_over_at_stack():
+    result = run_experiment(
+        config(policy="centralized", fidelity="round"), until=SHORT)
+    assert result.at_stats is not None
+    assert result.at_stats.reports_sent > 0
+    assert result.at_stats.report_delivery_ratio > 0.5
+
+
+def test_st_energy_estimate_round_fidelity():
+    result = run_experiment(
+        config(fidelity="round", calibration_rounds=3), until=SHORT)
+    estimate = result.st_energy_estimate_j()
+    assert estimate is not None and estimate > 0.0
+
+
+def test_waiting_times_within_guarantee():
+    result = run_experiment(config(), until=SHORT)
+    spec_window = paper_scenario("high").max_dcp
+    for wait in result.waiting_times():
+        assert 0.0 <= wait <= spec_window + 2.0  # + one CP period
+
+
+def test_same_seed_reproducible():
+    a = run_experiment(config(), until=SHORT)
+    b = run_experiment(config(), until=SHORT)
+    assert list(a.load_w) == list(b.load_w)
+    assert len(a.requests) == len(b.requests)
+
+
+def test_different_seeds_differ():
+    a = run_experiment(config(), until=SHORT)
+    b_config = HanConfig(scenario=paper_scenario("high"), seed=99,
+                         policy="coordinated", cp_fidelity="ideal")
+    b = run_experiment(b_config, until=SHORT)
+    assert [r.arrival_time for r in a.requests] != \
+        [r.arrival_time for r in b.requests]
+
+
+def test_make_topology_variants():
+    assert make_topology("flocklab26", 26).n == 26
+    assert make_topology("flocklab26", 10).n == 10
+    assert make_topology("flocklab26", 40).n == 40
+    assert make_topology("grid", 12).n == 12
+    assert make_topology("line", 5).n == 5
+    assert make_topology("home", 18).n == 18
+    with pytest.raises(ValueError):
+        make_topology("torus", 10)
+
+
+def test_run_default_horizon_is_scenario_horizon():
+    scenario = paper_scenario("low")
+    system = HanSystem(HanConfig(scenario=scenario, policy="uncoordinated",
+                                 cp_fidelity="ideal", seed=1))
+    result = system.run()
+    assert result.horizon == scenario.horizon
+    assert system.sim.now == scenario.horizon

@@ -1,0 +1,136 @@
+"""Appliance models: switching, energy, minDCD enforcement, metering."""
+
+import pytest
+
+from repro.han import ApplianceError, DutyCycleSpec, Type1Appliance, \
+    Type2Appliance
+from repro.han.appliance import Appliance
+from repro.sim import GaugeSum, Simulator
+
+
+SPEC = DutyCycleSpec(min_dcd=900.0, max_dcp=1800.0)
+
+
+def test_appliance_starts_off():
+    sim = Simulator()
+    appliance = Appliance(sim, 1, "lamp", 60.0)
+    assert not appliance.is_on
+    assert appliance.current_draw_w == 0.0
+
+
+def test_switching_publishes_to_meter():
+    sim = Simulator()
+    gauge = GaugeSum("load")
+    appliance = Appliance(sim, 1, "lamp", 60.0, meter=gauge)
+    appliance.turn_on()
+    assert gauge.total == 60.0
+    appliance.turn_off()
+    assert gauge.total == 0.0
+
+
+def test_standby_draw():
+    sim = Simulator()
+    gauge = GaugeSum("load")
+    appliance = Appliance(sim, 1, "fridge", 150.0, meter=gauge,
+                          standby_w=5.0)
+    assert gauge.total == 5.0
+    appliance.turn_on()
+    assert gauge.total == 150.0
+
+
+def test_energy_accounting():
+    sim = Simulator()
+    appliance = Appliance(sim, 1, "heater", 1000.0)
+
+    def run(sim):
+        appliance.turn_on()
+        yield sim.timeout(3600.0)
+        appliance.turn_off()
+        yield sim.timeout(1000.0)
+
+    sim.spawn(run(sim))
+    sim.run()
+    assert appliance.energy_joules() == pytest.approx(3.6e6)
+    assert appliance.total_on_time() == pytest.approx(3600.0)
+
+
+def test_idempotent_switching():
+    sim = Simulator()
+    appliance = Appliance(sim, 1, "lamp", 60.0)
+    appliance.turn_on()
+    appliance.turn_on()
+    assert len(appliance.history) == 1
+    appliance.turn_off()
+    appliance.turn_off()
+    assert appliance.history[0].off_at == 0.0
+
+
+def test_negative_power_rejected():
+    with pytest.raises(ValueError):
+        Appliance(Simulator(), 1, "bad", -5.0)
+
+
+def test_type1_run_for():
+    sim = Simulator()
+    gauge = GaugeSum()
+    appliance = Type1Appliance(sim, 2, "dryer", 1200.0, meter=gauge)
+    sim.spawn(appliance.run_for(480.0))
+    sim.run()
+    assert appliance.total_on_time() == pytest.approx(480.0)
+    assert not appliance.is_on
+
+
+def test_type1_rejects_nonpositive_duration():
+    sim = Simulator()
+    appliance = Type1Appliance(sim, 2, "dryer", 1200.0)
+    with pytest.raises(ValueError):
+        # generator raises at first step
+        next(appliance.run_for(0.0))
+
+
+def test_type2_min_dcd_enforced():
+    sim = Simulator()
+    appliance = Type2Appliance(sim, 3, "ac", 1500.0, SPEC)
+
+    def premature(sim):
+        appliance.turn_on()
+        yield sim.timeout(100.0)  # far less than minDCD
+        appliance.turn_off()
+
+    sim.spawn(premature(sim))
+    with pytest.raises(ApplianceError):
+        sim.run()
+
+
+def test_type2_full_burst_allowed():
+    sim = Simulator()
+    appliance = Type2Appliance(sim, 3, "ac", 1500.0, SPEC)
+    sim.spawn(appliance.run_burst())
+    sim.run()
+    assert appliance.bursts_completed == 1
+    assert appliance.total_on_time() == pytest.approx(SPEC.min_dcd)
+
+
+def test_type2_burst_energy():
+    sim = Simulator()
+    appliance = Type2Appliance(sim, 3, "heater", 1000.0, SPEC)
+    sim.spawn(appliance.run_burst())
+    sim.run()
+    # 1 kW for 15 min = 0.25 kWh = 900 kJ
+    assert appliance.energy_joules() == pytest.approx(900_000.0)
+
+
+def test_switch_history_records_intervals():
+    sim = Simulator()
+    appliance = Type2Appliance(sim, 3, "ac", 1500.0, SPEC)
+
+    def cycles(sim):
+        for _ in range(3):
+            yield from appliance.run_burst()
+            yield sim.timeout(SPEC.max_dcp - SPEC.min_dcd)
+
+    sim.spawn(cycles(sim))
+    sim.run()
+    assert len(appliance.history) == 3
+    for record in appliance.history:
+        assert record.duration == pytest.approx(SPEC.min_dcd)

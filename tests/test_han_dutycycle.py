@@ -1,0 +1,132 @@
+"""Duty-cycle grid arithmetic, including hypothesis properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.han import DutyCycleGrid, DutyCycleSpec, SlotRef
+
+
+PAPER_SPEC = DutyCycleSpec(min_dcd=900.0, max_dcp=1800.0)
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        DutyCycleSpec(min_dcd=0.0, max_dcp=100.0)
+    with pytest.raises(ValueError):
+        DutyCycleSpec(min_dcd=200.0, max_dcp=100.0)
+
+
+def test_paper_spec_properties():
+    assert PAPER_SPEC.slots_per_epoch == 2
+    assert PAPER_SPEC.duty_fraction == pytest.approx(0.5)
+
+
+def test_non_divisible_spec():
+    spec = DutyCycleSpec(min_dcd=900.0, max_dcp=2400.0)  # 15 / 40 min
+    assert spec.slots_per_epoch == 2  # floor(40/15)
+
+
+def test_epoch_and_slot_of():
+    grid = DutyCycleGrid(PAPER_SPEC)
+    assert grid.epoch_of(0.0) == 0
+    assert grid.epoch_of(1799.9) == 0
+    assert grid.epoch_of(1800.0) == 1
+    assert grid.slot_of(0.0) == SlotRef(0, 0)
+    assert grid.slot_of(899.9) == SlotRef(0, 0)
+    assert grid.slot_of(900.0) == SlotRef(0, 1)
+    assert grid.slot_of(1800.0) == SlotRef(1, 0)
+
+
+def test_slot_start_end():
+    grid = DutyCycleGrid(PAPER_SPEC)
+    ref = SlotRef(2, 1)
+    assert grid.slot_start(ref) == 2 * 1800.0 + 900.0
+    assert grid.slot_end(ref) == 2 * 1800.0 + 1800.0
+
+
+def test_grid_origin_shift():
+    grid = DutyCycleGrid(PAPER_SPEC, origin=100.0)
+    assert grid.epoch_of(99.0) == -1
+    assert grid.slot_of(100.0) == SlotRef(0, 0)
+    assert grid.slot_start(SlotRef(0, 0)) == 100.0
+
+
+def test_tail_of_non_divisible_epoch_maps_to_last_slot():
+    spec = DutyCycleSpec(min_dcd=900.0, max_dcp=2400.0)
+    grid = DutyCycleGrid(spec)
+    # 1900 s is past both slots (0-900, 900-1800): tail -> last slot
+    assert grid.slot_of(1900.0) == SlotRef(0, 1)
+
+
+def test_next_slot_starts_guarantee():
+    grid = DutyCycleGrid(PAPER_SPEC)
+    refs = grid.next_slot_starts(100.0)
+    assert len(refs) == 2
+    for ref in refs:
+        start = grid.slot_start(ref)
+        assert 100.0 < start <= 100.0 + PAPER_SPEC.max_dcp
+
+
+def test_next_slot_boundary_strictly_after():
+    grid = DutyCycleGrid(PAPER_SPEC)
+    ref, start = grid.next_slot_boundary(900.0)
+    assert start == 1800.0
+    assert ref == SlotRef(1, 0)
+    ref, start = grid.next_slot_boundary(899.0)
+    assert start == 900.0
+
+
+def test_occurrence_of_slot():
+    grid = DutyCycleGrid(PAPER_SPEC)
+    ref = grid.occurrence_of_slot(0, after=100.0)
+    assert ref == SlotRef(1, 0)  # slot 0 of epoch 0 started already
+    ref = grid.occurrence_of_slot(1, after=100.0)
+    assert ref == SlotRef(0, 1)
+    with pytest.raises(ValueError):
+        grid.occurrence_of_slot(7, after=0.0)
+
+
+def test_slot_index_in_spec():
+    assert SlotRef(3, 1).index_in(PAPER_SPEC) == 7
+
+
+spec_strategy = st.tuples(
+    st.floats(min_value=10.0, max_value=3600.0),
+    st.floats(min_value=1.0, max_value=4.0),
+).map(lambda t: DutyCycleSpec(min_dcd=t[0], max_dcp=t[0] * t[1]))
+
+
+@given(spec=spec_strategy, time=st.floats(min_value=0.0, max_value=1e6))
+@settings(max_examples=300, deadline=None)
+def test_slot_contains_its_time(spec, time):
+    """slot_of(t) must yield a slot whose [start, epoch-end) contains t."""
+    grid = DutyCycleGrid(spec)
+    ref = grid.slot_of(time)
+    start = grid.slot_start(ref)
+    assert start <= time + 1e-6
+    # containment within the epoch (tail times map into the last slot)
+    assert time < grid.epoch_start(ref.epoch) + spec.max_dcp + 1e-6
+
+
+@given(spec=spec_strategy, time=st.floats(min_value=0.0, max_value=1e6))
+@settings(max_examples=300, deadline=None)
+def test_next_boundary_is_future_and_tight(spec, time):
+    grid = DutyCycleGrid(spec)
+    ref, start = grid.next_slot_boundary(time)
+    assert start > time
+    # never further away than one full epoch
+    assert start - time <= spec.max_dcp + 1e-6
+
+
+@given(spec=spec_strategy, time=st.floats(min_value=0.0, max_value=1e6))
+@settings(max_examples=300, deadline=None)
+def test_liveness_candidates_cover_every_position(spec, time):
+    """next_slot_starts offers one start per slot position within maxDCP."""
+    grid = DutyCycleGrid(spec)
+    refs = grid.next_slot_starts(time)
+    assert len(refs) == spec.slots_per_epoch
+    assert len({r.slot for r in refs}) == spec.slots_per_epoch
+    for ref in refs:
+        start = grid.slot_start(ref)
+        assert time < start <= time + spec.max_dcp + 1e-6

@@ -1,0 +1,88 @@
+"""Smart meter aggregation and time-of-use tariffs."""
+
+import pytest
+
+from repro.han import SmartMeter, TariffBand, TimeOfUseTariff, \
+    evening_peak_tariff, flat_tariff
+from repro.han.appliance import Appliance
+from repro.sim import Simulator
+from repro.sim.units import HOUR
+
+
+def test_meter_aggregates_appliances():
+    sim = Simulator()
+    meter = SmartMeter(sim)
+    a = Appliance(sim, 1, "a", 1000.0, meter=meter.gauge)
+    b = Appliance(sim, 2, "b", 500.0, meter=meter.gauge)
+    a.turn_on()
+    b.turn_on()
+    assert meter.current_load_w == 1500.0
+    assert meter.load_kw_at(0.0) == pytest.approx(1.5)
+
+
+def test_meter_energy_integration():
+    sim = Simulator()
+    meter = SmartMeter(sim)
+    heater = Appliance(sim, 1, "h", 2000.0, meter=meter.gauge)
+
+    def run(sim):
+        heater.turn_on()
+        yield sim.timeout(HOUR)
+        heater.turn_off()
+
+    sim.spawn(run(sim))
+    sim.run(until=2 * HOUR)
+    assert meter.energy_kwh(0.0, 2 * HOUR) == pytest.approx(2.0)
+
+
+def test_tariff_bands_must_tile_day():
+    with pytest.raises(ValueError):
+        TimeOfUseTariff([TariffBand(0.0, 10.0, 0.1)])
+    with pytest.raises(ValueError):
+        TimeOfUseTariff([TariffBand(5.0, 24 * HOUR, 0.1)])
+
+
+def test_band_validation():
+    with pytest.raises(ValueError):
+        TariffBand(10.0, 5.0, 0.1)
+    with pytest.raises(ValueError):
+        TariffBand(0.0, 10.0, -0.1)
+
+
+def test_flat_tariff_price():
+    tariff = flat_tariff(0.25)
+    assert tariff.price_at(0.0) == 0.25
+    assert tariff.price_at(100 * HOUR) == 0.25  # wraps across days
+
+
+def test_evening_peak_pricing():
+    tariff = evening_peak_tariff(base=0.10, peak=0.30)
+    assert tariff.price_at(12 * HOUR) == 0.10
+    assert tariff.price_at(18 * HOUR) == 0.30
+    assert tariff.price_at(22 * HOUR) == 0.10
+    # next day's evening is peak again
+    assert tariff.price_at(42 * HOUR) == 0.30
+
+
+def test_tariff_cost_integration():
+    sim = Simulator()
+    meter = SmartMeter(sim)
+    heater = Appliance(sim, 1, "h", 1000.0, meter=meter.gauge)
+
+    def run(sim):
+        heater.turn_on()
+        yield sim.timeout(2 * HOUR)
+        heater.turn_off()
+
+    sim.spawn(run(sim))
+    sim.run(until=3 * HOUR)
+    cost = flat_tariff(0.20).cost(meter.load_series_w, 0.0, 3 * HOUR)
+    # 1 kW x 2 h x 0.20 = 0.40
+    assert cost == pytest.approx(0.40, rel=1e-3)
+
+
+def test_tariff_cost_rejects_empty_interval():
+    sim = Simulator()
+    meter = SmartMeter(sim)
+    with pytest.raises(ValueError):
+        flat_tariff(0.1).cost(meter.load_series_w, 10.0, 10.0)

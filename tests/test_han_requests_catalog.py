@@ -1,0 +1,75 @@
+"""Request lifecycle objects and the appliance catalog."""
+
+import pytest
+
+from repro.han import CATALOG, TYPE1_CATALOG, TYPE2_CATALOG, lookup
+from repro.han.catalog import CatalogEntry
+from repro.han.requests import RequestAnnouncement, RequestState, UserRequest
+
+
+def test_request_defaults():
+    request = UserRequest(device_id=3, arrival_time=10.0)
+    assert request.state is RequestState.PENDING
+    assert request.demand_cycles == 1
+    assert request.waiting_time is None
+
+
+def test_request_ids_unique_and_ordered():
+    a = UserRequest(device_id=1, arrival_time=0.0)
+    b = UserRequest(device_id=1, arrival_time=0.0)
+    assert b.request_id > a.request_id
+    assert a.sort_key < b.sort_key
+
+
+def test_request_sort_key_orders_by_arrival_first():
+    early = UserRequest(device_id=1, arrival_time=5.0)
+    late = UserRequest(device_id=2, arrival_time=9.0)
+    assert early.sort_key < late.sort_key
+
+
+def test_request_rejects_zero_demand():
+    with pytest.raises(ValueError):
+        UserRequest(device_id=1, arrival_time=0.0, demand_cycles=0)
+
+
+def test_waiting_time_computed():
+    request = UserRequest(device_id=1, arrival_time=100.0)
+    request.first_burst_at = 400.0
+    assert request.waiting_time == pytest.approx(300.0)
+
+
+def test_announcement_of_request():
+    request = UserRequest(device_id=4, arrival_time=50.0, demand_cycles=2)
+    announcement = RequestAnnouncement.of(request, power_w=1000.0)
+    assert announcement.device_id == 4
+    assert announcement.demand_cycles == 2
+    assert announcement.power_w == 1000.0
+    assert announcement.sort_key == request.sort_key
+
+
+def test_catalog_split_by_type():
+    assert all(e.appliance_type == 2 for e in TYPE2_CATALOG.values())
+    assert all(e.appliance_type == 1 for e in TYPE1_CATALOG.values())
+    assert set(CATALOG) == set(TYPE1_CATALOG) | set(TYPE2_CATALOG)
+
+
+def test_catalog_paper_unit_load():
+    entry = lookup("paper_unit_load")
+    assert entry.power_w == 1000.0
+    assert entry.duty_spec.min_dcd == 15 * 60.0
+    assert entry.duty_spec.max_dcp == 30 * 60.0
+
+
+def test_lookup_unknown_is_helpful():
+    with pytest.raises(KeyError, match="catalog has"):
+        lookup("flux_capacitor")
+
+
+def test_type2_entry_requires_duty_spec():
+    with pytest.raises(ValueError):
+        CatalogEntry("bad", 2, 100.0, duty_spec=None)
+
+
+def test_entry_type_validation():
+    with pytest.raises(ValueError):
+        CatalogEntry("bad", 3, 100.0)

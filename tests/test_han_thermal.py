@@ -1,0 +1,95 @@
+"""RC thermal models and duty-spec derivation."""
+
+import pytest
+
+from repro.han import ThermalNode, ThermalParams, derive_duty_spec, \
+    required_duty_fraction
+
+
+ROOM = ThermalParams(capacitance_j_per_k=2.0e6, resistance_k_per_w=0.01,
+                     appliance_heat_w=2000.0)
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        ThermalParams(0.0, 0.01, 100.0)
+    with pytest.raises(ValueError):
+        ThermalParams(1e6, -1.0, 100.0)
+
+
+def test_time_constant():
+    assert ROOM.time_constant == pytest.approx(20_000.0)
+
+
+def test_off_node_decays_to_ambient():
+    node = ThermalNode(ROOM, initial_temp_c=30.0, ambient_c=10.0)
+    node.advance(10 * ROOM.time_constant, appliance_on=False)
+    assert node.temperature_c == pytest.approx(10.0, abs=0.01)
+
+
+def test_on_node_approaches_heated_steady_state():
+    node = ThermalNode(ROOM, initial_temp_c=10.0, ambient_c=10.0)
+    node.advance(10 * ROOM.time_constant, appliance_on=True)
+    # steady state = ambient + Q*R = 10 + 2000*0.01 = 30
+    assert node.temperature_c == pytest.approx(30.0, abs=0.01)
+
+
+def test_advance_is_step_size_independent():
+    one_shot = ThermalNode(ROOM, 15.0, ambient_c=5.0)
+    one_shot.advance(5000.0, appliance_on=True)
+    stepped = ThermalNode(ROOM, 15.0, ambient_c=5.0)
+    for i in range(1, 51):
+        stepped.advance(i * 100.0, appliance_on=True)
+    assert stepped.temperature_c == pytest.approx(one_shot.temperature_c)
+
+
+def test_time_cannot_go_backwards():
+    node = ThermalNode(ROOM, 15.0, ambient_c=5.0)
+    node.advance(100.0, appliance_on=False)
+    with pytest.raises(ValueError):
+        node.advance(50.0, appliance_on=False)
+
+
+def test_ambient_profile_callable():
+    node = ThermalNode(ROOM, 10.0, ambient_c=lambda t: 10.0 + t / 1000.0)
+    node.advance(10 * ROOM.time_constant, appliance_on=False)
+    assert node.temperature_c > 10.0
+
+
+def test_required_duty_fraction_balance():
+    # hold 20 C above ambient: needs (20/0.01) = 2000 W = full duty
+    assert required_duty_fraction(ROOM, 30.0, 10.0) == pytest.approx(1.0)
+    # hold 10 C above ambient: half duty
+    assert required_duty_fraction(ROOM, 20.0, 10.0) == pytest.approx(0.5)
+    # target below ambient for a heater: zero duty
+    assert required_duty_fraction(ROOM, 5.0, 10.0) == 0.0
+
+
+def test_derive_duty_spec_hotter_day_shorter_period():
+    """The paper's example: harder thermal load -> smaller maxDCP."""
+    cooler = ThermalParams(2.0e6, 0.01, appliance_heat_w=-2000.0)
+    mild = derive_duty_spec(cooler, target_c=25.0, ambient_c=35.0,
+                            min_dcd=900.0)
+    hot = derive_duty_spec(cooler, target_c=25.0, ambient_c=45.0,
+                           min_dcd=900.0)
+    assert hot.max_dcp < mild.max_dcp
+    assert hot.min_dcd == mild.min_dcd == 900.0
+
+
+def test_derive_duty_spec_no_load_caps_period():
+    spec = derive_duty_spec(ROOM, target_c=5.0, ambient_c=10.0,
+                            min_dcd=900.0, max_period_cap=7200.0)
+    assert spec.max_dcp == 7200.0
+
+
+def test_derive_duty_spec_overload_clamps_to_min():
+    # demands more than the appliance can deliver: duty -> 1, period = minDCD
+    spec = derive_duty_spec(ROOM, target_c=40.0, ambient_c=10.0,
+                            min_dcd=900.0)
+    assert spec.max_dcp == pytest.approx(900.0)
+
+
+def test_zero_heat_appliance_rejected():
+    params = ThermalParams(1e6, 0.01, appliance_heat_w=0.0)
+    with pytest.raises(ValueError):
+        required_duty_fraction(params, 20.0, 10.0)

@@ -1,0 +1,113 @@
+"""Failure injection at the system level.
+
+The decentralized design's selling point is that losing nodes degrades the
+system proportionally, never totally; these tests crash DIs mid-run and
+check the survivors keep every invariant.
+"""
+
+import pytest
+
+from repro.core import HanConfig, HanSystem
+from repro.sim.units import MINUTE
+from repro.workloads import paper_scenario
+
+HORIZON = 150 * MINUTE
+
+
+def build(policy="coordinated", fidelity="round", seed=5):
+    config = HanConfig(scenario=paper_scenario("high"), policy=policy,
+                       cp_fidelity=fidelity, seed=seed,
+                       calibration_rounds=3)
+    return HanSystem(config)
+
+
+def crash_at(system, node, when):
+    def killer(sim):
+        yield sim.timeout(when)
+        system.cp.fail_node(node)
+
+    system.sim.spawn(killer(system.sim))
+
+
+def recover_at(system, node, when):
+    def medic(sim):
+        yield sim.timeout(when)
+        system.cp.recover_node(node)
+
+    system.sim.spawn(medic(system.sim))
+
+
+def test_survivors_keep_admitting_after_di_crash():
+    system = build()
+    crash_at(system, node=3, when=40 * MINUTE)
+    result = system.run(until=HORIZON)
+    late = [r for r in result.requests
+            if r.arrival_time >= 40 * MINUTE and r.device_id != 3
+            and r.arrival_time < HORIZON - 35 * MINUTE]
+    assert late, "workload must produce post-crash requests"
+    assert all(r.admitted_at is not None for r in late)
+
+
+def test_crashed_di_requests_stay_pending():
+    system = build()
+    crash_at(system, node=3, when=10 * MINUTE)
+    result = system.run(until=HORIZON)
+    dead_requests = [r for r in result.requests
+                     if r.device_id == 3
+                     and r.arrival_time > 10 * MINUTE + 2.0]
+    for request in dead_requests:
+        assert request.admitted_at is None
+
+
+def test_invariants_hold_with_crashes():
+    system = build()
+    for node, when in ((1, 30 * MINUTE), (7, 60 * MINUTE),
+                       (20, 90 * MINUTE)):
+        crash_at(system, node, when)
+    result = system.run(until=HORIZON)
+    spec = system.spec
+    for appliance in system.appliances.values():
+        for record in appliance.history:
+            if record.off_at is not None:
+                assert record.duration >= spec.min_dcd - 1e-6
+    # survivors' load still moves in small steps
+    assert result.load_w.max_step(0.0, HORIZON) <= \
+        2 * result.config.scenario.device_power_w + 1e-6
+
+
+def test_recovered_di_rejoins_coordination():
+    system = build()
+    crash_at(system, node=3, when=20 * MINUTE)
+    recover_at(system, node=3, when=50 * MINUTE)
+    result = system.run(until=HORIZON)
+    revived = [r for r in result.requests
+               if r.device_id == 3
+               and 50 * MINUTE + 2.0 < r.arrival_time
+               < HORIZON - 35 * MINUTE]
+    for request in revived:
+        assert request.admitted_at is not None
+
+
+def test_majority_crash_leaves_minority_functional():
+    system = build(seed=9)
+    for node in range(13):
+        system.cp.fail_node(node)
+    result = system.run(until=HORIZON)
+    surviving = [r for r in result.requests
+                 if r.device_id >= 13
+                 and r.arrival_time < HORIZON - 35 * MINUTE]
+    assert surviving
+    admitted = sum(1 for r in surviving if r.admitted_at is not None)
+    assert admitted == len(surviving)
+
+
+def test_ideal_cp_crash_handling_matches():
+    """Failure semantics must not depend on the CP fidelity."""
+    outcomes = {}
+    for fidelity in ("ideal", "round"):
+        system = build(fidelity=fidelity)
+        crash_at(system, node=3, when=40 * MINUTE)
+        result = system.run(until=HORIZON)
+        outcomes[fidelity] = sum(
+            1 for r in result.requests if r.admitted_at is not None)
+    assert outcomes["ideal"] == outcomes["round"]

@@ -1,0 +1,70 @@
+"""CP fidelity levels must agree on scheduling outcomes.
+
+``slot`` is ground truth; ``round`` is calibrated sampling; ``ideal`` is
+loss-free.  On a healthy channel the three must produce near-identical
+load shapes and identical admission behaviour, because the scheduler only
+needs state to arrive within a couple of 2 s rounds — far finer than the
+15-minute slots.
+"""
+
+import pytest
+
+from repro.core import HanConfig, run_experiment
+from repro.sim.units import MINUTE
+from repro.workloads import paper_scenario
+
+HORIZON = 60 * MINUTE
+
+
+@pytest.fixture(scope="module")
+def results():
+    outcome = {}
+    for fidelity in ("ideal", "round", "slot"):
+        config = HanConfig(scenario=paper_scenario("high"),
+                           policy="coordinated", cp_fidelity=fidelity,
+                           seed=7, calibration_rounds=3)
+        outcome[fidelity] = run_experiment(config, until=HORIZON)
+    return outcome
+
+
+def test_same_request_stream(results):
+    arrivals = {f: [(r.device_id, round(r.arrival_time, 6))
+                    for r in res.requests]
+                for f, res in results.items()}
+    assert arrivals["ideal"] == arrivals["round"] == arrivals["slot"]
+
+
+def test_admissions_agree(results):
+    admitted = {f: sum(1 for r in res.requests
+                       if r.admitted_at is not None)
+                for f, res in results.items()}
+    assert admitted["round"] == admitted["ideal"]
+    assert admitted["slot"] == admitted["ideal"]
+
+
+def test_energy_agrees_across_fidelities(results):
+    energies = {f: res.load_w.integral(0.0, HORIZON)
+                for f, res in results.items()}
+    assert energies["round"] == pytest.approx(energies["ideal"], rel=0.02)
+    assert energies["slot"] == pytest.approx(energies["ideal"], rel=0.02)
+
+
+def test_load_shape_agrees(results):
+    """Per-minute load traces may differ only by CP-round timing jitter."""
+    grids = {}
+    for fidelity, result in results.items():
+        _t, values = result.load_w.sample_grid(0.0, HORIZON, MINUTE)
+        grids[fidelity] = values
+    for fidelity in ("round", "slot"):
+        differing = sum(1 for a, b in zip(grids["ideal"], grids[fidelity])
+                        if abs(a - b) > 0.5)
+        assert differing <= 3  # at most a couple of samples off by a round
+
+
+def test_admission_latency_bounded_by_rounds(results):
+    for fidelity, result in results.items():
+        for request in result.requests:
+            if request.admitted_at is None:
+                continue
+            latency = request.admitted_at - request.arrival_time
+            assert latency <= 3 * 2.0 + 1e-9, fidelity

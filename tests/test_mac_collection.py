@@ -1,0 +1,114 @@
+"""Centralized collect + disseminate over the AT stack."""
+
+import pytest
+
+from repro.mac import CollectionNetwork
+from repro.radio import CsmaMedium, flocklab26
+from repro.sim import RandomStreams, Simulator
+
+
+def build(seed=1, sink=0):
+    streams = RandomStreams(seed)
+    topo = flocklab26()
+    channel = topo.make_channel(rng=streams.stream("channel"))
+    sim = Simulator()
+    medium = CsmaMedium(sim, channel, streams.stream("medium"))
+    reports = []
+    schedules = []
+    network = CollectionNetwork(
+        sim, channel, medium, list(range(topo.n)), sink=sink,
+        rng_factory=lambda name: streams.stream(name),
+        on_report=reports.append,
+        on_schedule=lambda node, bundle: schedules.append((node,
+                                                           bundle.version)))
+    return sim, network, reports, schedules
+
+
+def test_single_report_reaches_controller():
+    sim, network, reports, _ = build()
+
+    def traffic(sim):
+        network.submit_report(25, {"kind": "request"})
+        yield sim.timeout(1.0)
+
+    sim.spawn(traffic(sim))
+    sim.run(until=2.0)
+    assert [r.origin for r in reports] == [25]
+    assert network.stats.report_delivery_ratio == 1.0
+    assert network.stats.report_latencies[0] > 0.0
+
+
+def test_sink_local_report_is_immediate():
+    sim, network, reports, _ = build()
+    network.submit_report(0, {"kind": "local"})
+    assert [r.origin for r in reports] == [0]
+    assert network.stats.report_latencies[0] == 0.0
+    sim.run(until=0.1)
+
+
+def test_staggered_reports_all_collected():
+    sim, network, reports, _ = build(seed=2)
+
+    def traffic(sim):
+        for origin in range(1, 26):
+            network.submit_report(origin, origin)
+            yield sim.timeout(0.08)
+
+    sim.spawn(traffic(sim))
+    sim.run(until=10.0)
+    assert network.stats.reports_delivered >= 23  # near-lossless staggered
+    assert network.stats.mean_report_latency() < 0.2
+
+
+def test_dissemination_reaches_network():
+    sim, network, _, schedules = build(seed=3)
+
+    def push(sim):
+        network.disseminate(1, {"plan": "x"})
+        yield sim.timeout(2.0)
+
+    sim.spawn(push(sim))
+    sim.run(until=5.0)
+    informed = {node for node, version in schedules if version == 1}
+    assert len(informed) >= 20  # CSMA broadcast flood, some loss allowed
+
+
+def test_dissemination_versions_are_deduplicated():
+    sim, network, _, schedules = build(seed=4)
+
+    def push(sim):
+        network.disseminate(1, "a")
+        yield sim.timeout(2.0)
+        network.disseminate(1, "a-again")  # same version: ignored
+        yield sim.timeout(2.0)
+
+    sim.spawn(push(sim))
+    sim.run(until=6.0)
+    per_node = {}
+    for node, version in schedules:
+        per_node.setdefault(node, []).append(version)
+    assert all(versions.count(1) == 1 for versions in per_node.values())
+
+
+def test_controller_failure_stops_dissemination():
+    sim, network, _, schedules = build()
+    network.fail_node(0)
+    network.disseminate(1, "never")
+    sim.run(until=2.0)
+    assert schedules == []
+    assert not network.controller_alive
+
+
+def test_relay_failure_triggers_rerouting():
+    sim, network, reports, _ = build(seed=5)
+    victim = network.tree.next_hop(25)
+    network.fail_node(victim)
+    assert network.tree.next_hop(25) != victim
+
+    def traffic(sim):
+        network.submit_report(25, "rerouted")
+        yield sim.timeout(1.0)
+
+    sim.spawn(traffic(sim))
+    sim.run(until=3.0)
+    assert [r.origin for r in reports] == [25]

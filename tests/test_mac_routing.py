@@ -1,0 +1,83 @@
+"""ETX collection-tree routing."""
+
+import numpy as np
+import pytest
+
+from repro.mac import build_collection_tree
+from repro.radio import Channel, flocklab26
+from repro.sim import RandomStreams
+
+
+def line_channel(n, spacing):
+    xs = np.arange(n) * spacing
+    return Channel(np.column_stack([xs, np.zeros(n)]))
+
+
+def test_line_tree_parents_point_toward_sink():
+    channel = line_channel(5, 30.0)
+    tree = build_collection_tree(channel, sink=0)
+    assert tree.parent[0] is None
+    for node in range(1, 5):
+        assert tree.parent[node] is not None
+        assert tree.parent[node] < node  # toward the sink on a line
+        assert tree.depth(node) >= 1
+
+
+def test_routes_terminate_at_sink():
+    channel = line_channel(6, 30.0)
+    tree = build_collection_tree(channel, sink=0)
+    for node in range(6):
+        route = tree.route(node)
+        assert route[0] == node
+        assert route[-1] == 0
+
+
+def test_etx_monotone_along_route():
+    channel = line_channel(6, 30.0)
+    tree = build_collection_tree(channel, sink=0)
+    for node in range(1, 6):
+        parent = tree.parent[node]
+        assert tree.etx_to_sink[parent] < tree.etx_to_sink[node]
+
+
+def test_children_listing():
+    channel = line_channel(4, 30.0)
+    tree = build_collection_tree(channel, sink=0)
+    all_children = set()
+    for node in range(4):
+        all_children.update(tree.children(node))
+    assert all_children == {1, 2, 3}
+
+
+def test_flocklab_tree_spans_testbed():
+    streams = RandomStreams(1)
+    channel = flocklab26().make_channel(rng=streams.stream("chan"))
+    tree = build_collection_tree(channel, sink=12)
+    assert len(tree.parent) == 26
+    depths = [tree.depth(n) for n in range(26)]
+    assert all(d >= 0 for d in depths)
+    assert max(depths) >= 2  # genuinely multi-hop
+
+
+def test_failed_node_rerouting():
+    channel = line_channel(4, 30.0)
+    full = build_collection_tree(channel, sink=0)
+    assert full.route(3) == [3, 2, 1, 0]
+    # node 2 dies: node 3 has no 60 m link, so it is partitioned
+    partial = build_collection_tree(channel, sink=0, alive=[0, 1, 3])
+    assert partial.route(3) == []
+    assert partial.next_hop(3) is None
+    assert partial.route(1) == [1, 0]
+
+
+def test_unreachable_sink_gives_empty_tree():
+    channel = line_channel(3, 30.0)
+    tree = build_collection_tree(channel, sink=2, alive=[0, 1])
+    assert tree.parent == {}
+
+
+def test_route_of_sink_is_itself():
+    channel = line_channel(3, 30.0)
+    tree = build_collection_tree(channel, sink=1)
+    assert tree.route(1) == [1]
+    assert tree.depth(1) == 0

@@ -1,0 +1,96 @@
+"""Drifting clocks and the CC2420 energy meter."""
+
+import pytest
+
+from repro.radio import DriftingClock, EnergyMeter
+from repro.radio.energy import CURRENT_A, VOLTAGE
+from repro.sim import Simulator
+
+
+def test_clock_without_drift_tracks_global():
+    sim = Simulator()
+    clock = DriftingClock(sim)
+
+    def advance(sim):
+        yield sim.timeout(100.0)
+
+    sim.spawn(advance(sim))
+    sim.run()
+    assert clock.local_time() == pytest.approx(100.0)
+
+
+def test_clock_drift_rate():
+    sim = Simulator()
+    clock = DriftingClock(sim, drift_ppm=100.0)  # fast crystal
+
+    def advance(sim):
+        yield sim.timeout(10_000.0)
+
+    sim.spawn(advance(sim))
+    sim.run()
+    # 100 ppm over 10 000 s = 1 s ahead
+    assert clock.local_time() == pytest.approx(10_001.0)
+
+
+def test_clock_synchronize_corrects_offset():
+    sim = Simulator()
+    clock = DriftingClock(sim, drift_ppm=50.0, offset=5.0)
+
+    def advance(sim):
+        yield sim.timeout(1000.0)
+
+    sim.spawn(advance(sim))
+    sim.run()
+    correction = clock.synchronize(1000.0)
+    assert clock.local_time() == pytest.approx(1000.0)
+    # it was ~5.05 s ahead, so correction is about -5.05
+    assert correction == pytest.approx(-5.05, abs=0.01)
+
+
+def test_clock_conversions_roundtrip():
+    sim = Simulator()
+    clock = DriftingClock(sim, drift_ppm=-30.0, offset=2.0)
+    local = clock.to_local(500.0)
+    assert clock.to_global(local) == pytest.approx(500.0)
+
+
+def test_error_vs_other_clock():
+    sim = Simulator()
+    a = DriftingClock(sim, drift_ppm=0.0)
+    b = DriftingClock(sim, drift_ppm=0.0, offset=1.5)
+    assert b.error_vs(a) == pytest.approx(1.5)
+
+
+def test_energy_meter_accumulates():
+    meter = EnergyMeter()
+    meter.add("rx", 10.0)
+    meter.add("tx", 5.0)
+    meter.add("sleep", 85.0)
+    expected = VOLTAGE * (CURRENT_A["rx"] * 10 + CURRENT_A["tx"] * 5
+                          + CURRENT_A["sleep"] * 85)
+    assert meter.energy_joules() == pytest.approx(expected)
+    assert meter.radio_on_time == pytest.approx(15.0)
+    assert meter.duty_cycle(100.0) == pytest.approx(0.15)
+
+
+def test_energy_meter_rejects_bad_input():
+    meter = EnergyMeter()
+    with pytest.raises(ValueError):
+        meter.add("rx", -1.0)
+    with pytest.raises(KeyError):
+        meter.add("warp", 1.0)
+    with pytest.raises(ValueError):
+        meter.duty_cycle(0.0)
+
+
+def test_energy_meter_merge():
+    a = EnergyMeter()
+    a.add("rx", 1.0)
+    b = EnergyMeter()
+    b.add("rx", 2.0)
+    b.add("tx", 3.0)
+    merged = a.merged_with(b)
+    assert merged.seconds["rx"] == pytest.approx(3.0)
+    assert merged.seconds["tx"] == pytest.approx(3.0)
+    # originals untouched
+    assert a.seconds["rx"] == 1.0

@@ -1,0 +1,207 @@
+"""FloodMedium (ST reception model) and CsmaMedium (AT continuous medium)."""
+
+import numpy as np
+import pytest
+
+from repro.radio import Channel, CsmaMedium, FloodMedium, Frame
+from repro.radio.packet import BROADCAST
+from repro.sim import RandomStreams, Simulator
+
+
+def line_channel(distances, **kwargs):
+    xs = np.concatenate([[0.0], np.cumsum(distances)])
+    positions = np.column_stack([xs, np.zeros_like(xs)])
+    return Channel(positions, **kwargs)
+
+
+@pytest.fixture
+def streams():
+    return RandomStreams(9)
+
+
+# ---------------------------------------------------------------------------
+# FloodMedium
+# ---------------------------------------------------------------------------
+
+def test_flood_reception_strong_link(streams):
+    channel = line_channel([10.0])
+    medium = FloodMedium(channel, streams.stream("f"))
+    assert medium.reception_probability(1, [0], 40) > 0.999
+
+
+def test_flood_reception_out_of_range(streams):
+    channel = line_channel([500.0])
+    medium = FloodMedium(channel, streams.stream("f"))
+    assert medium.reception_probability(1, [0], 40) == 0.0
+
+
+def test_flood_no_senders_no_reception(streams):
+    channel = line_channel([10.0])
+    medium = FloodMedium(channel, streams.stream("f"))
+    assert medium.reception_probability(1, [], 40) == 0.0
+
+
+def test_synchronized_senders_combine_power(streams):
+    """Two synchronized senders must not be worse than the best alone
+    (modulo the CI derating factor)."""
+    channel = line_channel([35.0, 10.0, 10.0])  # receivers around node 0
+    medium = FloodMedium(channel, streams.stream("f"))
+    single = medium.reception_probability(0, [1], 40)
+    double = medium.reception_probability(0, [1, 2], 40)
+    derating = channel.config.ci_derating
+    assert double >= single * derating - 1e-9
+
+
+def test_ci_derating_applies(streams):
+    channel = line_channel([5.0, 5.0, 5.0])
+    medium = FloodMedium(channel, streams.stream("f"))
+    # At saturation PRR=1, so probability equals the derating product.
+    three = medium.reception_probability(0, [1, 2, 3], 40)
+    assert three == pytest.approx(channel.config.ci_derating ** 2)
+
+
+def test_flood_slot_returns_receivers(streams):
+    channel = line_channel([10.0, 10.0])
+    medium = FloodMedium(channel, streams.stream("f"))
+    received = medium.flood_slot([0], [1, 2], 40)
+    assert 1 in received  # 10 m: essentially certain
+
+
+# ---------------------------------------------------------------------------
+# CsmaMedium
+# ---------------------------------------------------------------------------
+
+def deliver_one(sim, medium, src, frame):
+    def proc(sim):
+        yield from medium.transmit(src, frame)
+    sim.spawn(proc(sim))
+
+
+def test_csma_unicast_delivery(streams):
+    channel = line_channel([15.0])
+    sim = Simulator()
+    medium = CsmaMedium(sim, channel, streams.stream("m"))
+    got = []
+    medium.register(1, lambda frame, rssi: got.append((frame.payload, rssi)))
+    frame = Frame(source=0, destination=1, payload="hello", payload_bytes=10)
+    deliver_one(sim, medium, 0, frame)
+    sim.run()
+    assert len(got) == 1
+    assert got[0][0] == "hello"
+    assert got[0][1] == channel.rx_power_dbm(0, 1)
+
+
+def test_csma_address_filtering(streams):
+    channel = line_channel([15.0, 15.0])
+    sim = Simulator()
+    medium = CsmaMedium(sim, channel, streams.stream("m"))
+    got = []
+    medium.register(1, lambda f, r: got.append(1))
+    medium.register(2, lambda f, r: got.append(2))
+    frame = Frame(source=0, destination=2, payload=None, payload_bytes=4)
+    deliver_one(sim, medium, 0, frame)
+    sim.run()
+    assert got == [2]
+
+
+def test_csma_broadcast_reaches_neighbours(streams):
+    channel = line_channel([15.0, 15.0])
+    sim = Simulator()
+    medium = CsmaMedium(sim, channel, streams.stream("m"))
+    got = []
+    for node in (1, 2):
+        medium.register(node, lambda f, r, n=node: got.append(n))
+    frame = Frame(source=0, destination=BROADCAST, payload=None,
+                  payload_bytes=4)
+    deliver_one(sim, medium, 0, frame)
+    sim.run()
+    assert sorted(got) == [1, 2]
+
+
+def test_csma_collision_destroys_both(streams):
+    """Two equidistant simultaneous senders jam each other at the middle."""
+    # receiver 0 in the middle, senders 1 and 2 at equal distance
+    positions = np.array([[0.0, 0.0], [-20.0, 0.0], [20.0, 0.0]])
+    channel = Channel(positions)
+    sim = Simulator()
+    medium = CsmaMedium(sim, channel, streams.stream("m"))
+    got = []
+    medium.register(0, lambda f, r: got.append(f.source))
+    f1 = Frame(source=1, destination=0, payload=None, payload_bytes=20)
+    f2 = Frame(source=2, destination=0, payload=None, payload_bytes=20)
+    deliver_one(sim, medium, 1, f1)
+    deliver_one(sim, medium, 2, f2)
+    sim.run()
+    assert got == []  # SINR ~ 0 dB for both: neither decodes
+    assert medium.frames_lost_interference >= 1
+
+
+def test_csma_capture_strong_wins(streams):
+    """A much closer sender survives interference from a distant one."""
+    positions = np.array([[0.0, 0.0], [5.0, 0.0], [60.0, 0.0]])
+    channel = Channel(positions)
+    sim = Simulator()
+    medium = CsmaMedium(sim, channel, streams.stream("m"))
+    got = []
+    medium.register(0, lambda f, r: got.append(f.source))
+    near = Frame(source=1, destination=0, payload=None, payload_bytes=20)
+    far = Frame(source=2, destination=0, payload=None, payload_bytes=20)
+    deliver_one(sim, medium, 1, near)
+    deliver_one(sim, medium, 2, far)
+    sim.run()
+    assert got == [1]
+
+
+def test_half_duplex_no_reception_while_transmitting(streams):
+    channel = line_channel([15.0])
+    sim = Simulator()
+    medium = CsmaMedium(sim, channel, streams.stream("m"))
+    got = []
+    medium.register(0, lambda f, r: got.append(f.source))
+    medium.register(1, lambda f, r: got.append(f.source))
+    # Node 1 transmits a long frame; node 0 sends to node 1 meanwhile.
+    long_frame = Frame(source=1, destination=0, payload=None,
+                       payload_bytes=100)
+    short_frame = Frame(source=0, destination=1, payload=None,
+                        payload_bytes=4)
+
+    def overlap(sim):
+        deliver_one(sim, medium, 1, long_frame)
+        yield sim.timeout(0.0005)
+        deliver_one(sim, medium, 0, short_frame)
+
+    sim.spawn(overlap(sim))
+    sim.run()
+    assert 0 not in got  # node 1 was transmitting: cannot hear node 0
+
+
+def test_channel_busy_during_transmission(streams):
+    # 8 m: inside the CCA carrier-sense range (-77 dBm threshold).
+    channel = line_channel([8.0])
+    sim = Simulator()
+    medium = CsmaMedium(sim, channel, streams.stream("m"))
+    observations = []
+
+    def observer(sim):
+        yield sim.timeout(0.0001)
+        observations.append(medium.channel_busy(1))
+
+    frame = Frame(source=0, destination=1, payload=None, payload_bytes=100)
+    deliver_one(sim, medium, 0, frame)
+    sim.spawn(observer(sim))
+    sim.run()
+    assert observations == [True]
+    assert not medium.channel_busy(1)  # idle after the run
+
+
+def test_unregistered_node_receives_nothing(streams):
+    channel = line_channel([15.0])
+    sim = Simulator()
+    medium = CsmaMedium(sim, channel, streams.stream("m"))
+    got = []
+    medium.register(1, lambda f, r: got.append(f))
+    medium.unregister(1)
+    frame = Frame(source=0, destination=1, payload=None, payload_bytes=4)
+    deliver_one(sim, medium, 0, frame)
+    sim.run()
+    assert got == []

@@ -1,0 +1,63 @@
+"""802.15.4 PHY timing and frame model."""
+
+import pytest
+
+from repro.radio import Frame, RadioConfig, frame_airtime
+from repro.radio import phy
+from repro.radio.packet import BROADCAST
+
+
+def test_byte_airtime_is_32us():
+    assert phy.BYTE_AIRTIME == pytest.approx(32e-6)
+
+
+def test_frame_airtime_includes_headers():
+    # 10-byte PSDU: 5 sync + 1 len + 10 = 16 bytes at 32 us
+    assert frame_airtime(10) == pytest.approx(16 * 32e-6)
+
+
+def test_frame_airtime_max_frame():
+    assert frame_airtime(127) == pytest.approx((5 + 1 + 127) * 32e-6)
+
+
+def test_frame_airtime_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        frame_airtime(0)
+    with pytest.raises(ValueError):
+        frame_airtime(128)
+
+
+def test_ack_airtime():
+    assert phy.ack_airtime() == frame_airtime(phy.ACK_PSDU_BYTES)
+
+
+def test_frame_psdu_accounting():
+    frame = Frame(source=1, destination=2, payload="x", payload_bytes=20)
+    # 9 MAC header + 20 payload + 2 CRC
+    assert frame.psdu_bytes == 31
+    assert frame.airtime == pytest.approx(frame_airtime(31))
+
+
+def test_frame_too_large_rejected():
+    with pytest.raises(ValueError):
+        Frame(source=1, destination=2, payload=None, payload_bytes=120)
+
+
+def test_broadcast_flag():
+    assert Frame(source=1, destination=BROADCAST, payload=None,
+                 payload_bytes=1).is_broadcast
+    assert not Frame(source=1, destination=7, payload=None,
+                     payload_bytes=1).is_broadcast
+
+
+def test_frame_ids_unique():
+    a = Frame(source=1, destination=2, payload=None, payload_bytes=1)
+    b = Frame(source=1, destination=2, payload=None, payload_bytes=1)
+    assert a.frame_id != b.frame_id
+
+
+def test_radio_config_defaults_sane():
+    config = RadioConfig()
+    assert config.noise_floor_dbm < config.sensitivity_dbm \
+        < config.cca_threshold_dbm < config.tx_power_dbm
+    assert 0.0 < config.ci_derating <= 1.0

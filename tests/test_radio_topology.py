@@ -1,0 +1,81 @@
+"""Topology generators and the FlockLab stand-in."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.radio import (
+    flocklab26,
+    grid_layout,
+    home_layout,
+    linear_layout,
+    random_layout,
+)
+from repro.radio.topology import Topology
+from repro.sim import RandomStreams
+
+
+def test_linear_layout_spacing():
+    topo = linear_layout(5, spacing=20.0)
+    assert topo.n == 5
+    assert np.allclose(np.diff(topo.positions[:, 0]), 20.0)
+
+
+def test_linear_layout_rejects_zero():
+    with pytest.raises(ValueError):
+        linear_layout(0)
+
+
+def test_grid_layout_count():
+    topo = grid_layout(3, 4, spacing=10.0)
+    assert topo.n == 12
+    assert topo.positions[:, 0].max() == pytest.approx(30.0)
+    assert topo.positions[:, 1].max() == pytest.approx(20.0)
+
+
+def test_random_layout_respects_separation():
+    rng = RandomStreams(1).stream("topo")
+    topo = random_layout(20, 100.0, 100.0, rng, min_separation=5.0)
+    assert topo.n == 20
+    for i in range(20):
+        for j in range(i + 1, 20):
+            d = np.linalg.norm(topo.positions[i] - topo.positions[j])
+            assert d >= 5.0
+
+
+def test_random_layout_impossible_raises():
+    rng = RandomStreams(1).stream("topo")
+    with pytest.raises(RuntimeError):
+        random_layout(100, 10.0, 10.0, rng, min_separation=5.0,
+                      max_tries=200)
+
+
+def test_home_layout_clusters():
+    topo = home_layout(3, 2, devices_per_room=3)
+    assert topo.n == 18
+
+
+def test_flocklab26_has_26_nodes():
+    assert flocklab26().n == 26
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_flocklab26_connected_multihop(seed):
+    """The stand-in testbed must be connected and genuinely multi-hop."""
+    topo = flocklab26()
+    channel = topo.make_channel(rng=RandomStreams(seed).stream("channel"))
+    graph = channel.connectivity_graph(0.5)
+    assert nx.is_connected(graph)
+    diameter = nx.diameter(graph)
+    assert 3 <= diameter <= 6
+
+
+def test_topology_diameter_helper():
+    topo = flocklab26()
+    channel = topo.make_channel(rng=RandomStreams(0).stream("channel"))
+    assert topo.diameter_hops(channel) >= 3
+
+
+def test_topology_validates_shape():
+    with pytest.raises(ValueError):
+        Topology("bad", np.zeros((4, 3)))

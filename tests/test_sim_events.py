@@ -1,0 +1,166 @@
+"""Event primitives: triggering, conditions, failure handling."""
+
+import pytest
+
+from repro.sim import EventAlreadyFired, Simulator
+
+
+def test_event_lifecycle_flags():
+    sim = Simulator()
+    event = sim.event()
+    assert not event.triggered
+    assert not event.processed
+    event.succeed("v")
+    assert event.triggered
+    assert not event.processed
+    sim.run()
+    assert event.processed
+    assert event.value == "v"
+
+
+def test_value_unavailable_before_trigger():
+    event = Simulator().event()
+    with pytest.raises(AttributeError):
+        _ = event.value
+
+
+def test_double_succeed_rejected():
+    event = Simulator().event()
+    event.succeed()
+    with pytest.raises(EventAlreadyFired):
+        event.succeed()
+
+
+def test_fail_then_succeed_rejected():
+    sim = Simulator()
+    event = sim.event()
+    event.fail(RuntimeError("x"))
+    event._defused = True
+    with pytest.raises(EventAlreadyFired):
+        event.succeed()
+    sim.run()
+
+
+def test_fail_requires_exception():
+    event = Simulator().event()
+    with pytest.raises(TypeError):
+        event.fail("not an exception")
+
+
+def test_unhandled_failed_event_crashes_run():
+    sim = Simulator()
+    event = sim.event()
+    event.fail(ValueError("lost"))
+    with pytest.raises(ValueError, match="lost"):
+        sim.run()
+
+
+def test_allof_collects_all_values():
+    sim = Simulator()
+    got = []
+
+    def proc(sim):
+        t1 = sim.timeout(1.0, "a")
+        t2 = sim.timeout(2.0, "b")
+        result = yield sim.all_of([t1, t2])
+        got.append(sorted(result.values()))
+        got.append(sim.now)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert got == [["a", "b"], 2.0]
+
+
+def test_anyof_fires_on_first():
+    sim = Simulator()
+    got = []
+
+    def proc(sim):
+        t1 = sim.timeout(5.0, "slow")
+        t2 = sim.timeout(1.0, "fast")
+        result = yield sim.any_of([t1, t2])
+        got.append(list(result.values()))
+        got.append(sim.now)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert got == [["fast"], 1.0]
+
+
+def test_condition_operators():
+    sim = Simulator()
+    got = []
+
+    def proc(sim):
+        result = yield sim.timeout(1.0, "x") & sim.timeout(2.0, "y")
+        got.append(len(result))
+        result = yield sim.timeout(1.0, "p") | sim.timeout(9.0, "q")
+        got.append(list(result.values()))
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert got == [2, ["p"]]
+
+
+def test_empty_allof_fires_immediately():
+    sim = Simulator()
+    got = []
+
+    def proc(sim):
+        result = yield sim.all_of([])
+        got.append(result)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert got == [{}]
+
+
+def test_allof_with_already_processed_event():
+    sim = Simulator()
+    got = []
+
+    def proc(sim):
+        early = sim.timeout(1.0, "early")
+        yield sim.timeout(3.0)
+        result = yield sim.all_of([early, sim.timeout(1.0, "late")])
+        got.append(sorted(result.values()))
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert got == [["early", "late"]]
+
+
+def test_allof_fails_when_member_fails():
+    sim = Simulator()
+    caught = []
+
+    def failer(sim):
+        yield sim.timeout(1.0)
+        raise KeyError("member")
+
+    def waiter(sim, target):
+        try:
+            yield sim.all_of([target, sim.timeout(10.0)])
+        except KeyError:
+            caught.append(sim.now)
+
+    target = sim.spawn(failer(sim))
+    sim.spawn(waiter(sim, target))
+    sim.run()
+    assert caught == [1.0]
+
+
+def test_condition_rejects_mixed_simulators():
+    sim_a, sim_b = Simulator(), Simulator()
+    with pytest.raises(ValueError):
+        sim_a.all_of([sim_a.timeout(1.0), sim_b.timeout(1.0)])
+
+
+def test_callbacks_receive_event():
+    sim = Simulator()
+    seen = []
+    event = sim.event()
+    event.callbacks.append(lambda e: seen.append(e.value))
+    event.succeed(123)
+    sim.run()
+    assert seen == [123]

@@ -1,0 +1,177 @@
+"""StepSeries / GaugeSum / Counter, including hypothesis properties."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Counter, GaugeSum, Simulator, StepSeries
+
+
+def make_series(points):
+    series = StepSeries("s")
+    for t, v in points:
+        series.record(t, v)
+    return series
+
+
+def test_value_before_first_record_is_zero():
+    series = make_series([(5.0, 3.0)])
+    assert series.at(0.0) == 0.0
+    assert series.at(4.999) == 0.0
+    assert series.at(5.0) == 3.0
+
+
+def test_piecewise_lookup():
+    series = make_series([(0.0, 1.0), (10.0, 2.0), (20.0, 0.0)])
+    assert series.at(0.0) == 1.0
+    assert series.at(9.999) == 1.0
+    assert series.at(10.0) == 2.0
+    assert series.at(25.0) == 0.0
+
+
+def test_same_value_records_are_compressed():
+    series = make_series([(0.0, 1.0), (5.0, 1.0), (10.0, 2.0)])
+    assert len(series) == 2
+
+
+def test_same_instant_overwrites():
+    series = make_series([(0.0, 1.0), (5.0, 2.0), (5.0, 3.0)])
+    assert series.at(5.0) == 3.0
+    assert len(series) == 2
+
+
+def test_time_regression_rejected():
+    series = make_series([(5.0, 1.0)])
+    with pytest.raises(ValueError):
+        series.record(4.0, 2.0)
+
+
+def test_integral_exact():
+    series = make_series([(0.0, 2.0), (10.0, 4.0)])
+    assert series.integral(0.0, 20.0) == pytest.approx(2 * 10 + 4 * 10)
+
+
+def test_integral_partial_segments():
+    series = make_series([(0.0, 2.0), (10.0, 4.0)])
+    assert series.integral(5.0, 15.0) == pytest.approx(2 * 5 + 4 * 5)
+
+
+def test_mean_and_variance():
+    series = make_series([(0.0, 0.0), (5.0, 10.0)])
+    # half the window at 0, half at 10
+    assert series.mean(0.0, 10.0) == pytest.approx(5.0)
+    assert series.variance(0.0, 10.0) == pytest.approx(25.0)
+    assert series.std(0.0, 10.0) == pytest.approx(5.0)
+
+
+def test_max_min_over_window():
+    series = make_series([(0.0, 1.0), (2.0, 7.0), (4.0, 3.0)])
+    assert series.maximum(0.0, 10.0) == 7.0
+    assert series.minimum(0.0, 10.0) == 1.0
+    assert series.maximum(4.0, 10.0) == 3.0
+
+
+def test_max_step_detects_largest_jump():
+    series = make_series([(0.0, 0.0), (1.0, 3.0), (2.0, 4.0), (3.0, 1.0),
+                          (4.0, 9.0)])
+    assert series.max_step(0.0, 10.0) == pytest.approx(8.0)
+
+
+def test_window_restriction():
+    series = make_series([(0.0, 1.0), (10.0, 2.0), (20.0, 3.0)])
+    clipped = series.window(5.0, 15.0)
+    assert clipped.at(5.0) == 1.0
+    assert clipped.at(12.0) == 2.0
+
+
+def test_sample_grid_shape():
+    series = make_series([(0.0, 1.0)])
+    times, values = series.sample_grid(0.0, 10.0, 2.5)
+    assert len(times) == len(values) == 4
+
+
+def test_empty_interval_stats_raise():
+    series = make_series([(0.0, 1.0)])
+    with pytest.raises(ValueError):
+        series.mean(5.0, 5.0)
+    with pytest.raises(ValueError):
+        series.maximum(5.0, 5.0)
+
+
+@given(st.lists(st.tuples(st.floats(0, 1000), st.floats(-100, 100)),
+                min_size=1, max_size=30))
+@settings(max_examples=200, deadline=None)
+def test_integral_is_additive(points):
+    """∫[a,c] = ∫[a,b] + ∫[b,c] for any split point."""
+    points = sorted(points, key=lambda p: p[0])
+    series = StepSeries()
+    for t, v in points:
+        series.record(t, v)
+    a, b, c = 0.0, 600.0, 1200.0
+    whole = series.integral(a, c)
+    split = series.integral(a, b) + series.integral(b, c)
+    assert math.isclose(whole, split, rel_tol=1e-9, abs_tol=1e-6)
+
+
+@given(st.lists(st.tuples(st.floats(0, 100), st.floats(0, 50)),
+                min_size=1, max_size=20))
+@settings(max_examples=200, deadline=None)
+def test_mean_bounded_by_extremes(points):
+    points = sorted(points, key=lambda p: p[0])
+    series = StepSeries()
+    for t, v in points:
+        series.record(t, v)
+    lo = series.minimum(0.0, 200.0)
+    hi = series.maximum(0.0, 200.0)
+    mean = series.mean(0.0, 200.0)
+    assert lo - 1e-9 <= mean <= hi + 1e-9
+
+
+@given(st.lists(st.floats(0, 50), min_size=1, max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_variance_nonnegative(values):
+    series = StepSeries()
+    for i, v in enumerate(values):
+        series.record(float(i), v)
+    assert series.variance(0.0, len(values) + 1.0) >= -1e-12
+
+
+def test_gauge_sum_aggregates_contributors():
+    sim = Simulator()
+    gauge = GaugeSum("load")
+    gauge.set_level("a", 100.0, sim.now)
+    gauge.set_level("b", 50.0, sim.now)
+    assert gauge.total == 150.0
+    gauge.set_level("a", 0.0, sim.now)
+    assert gauge.total == 50.0
+    assert gauge.level_of("b") == 50.0
+    assert gauge.level_of("missing") == 0.0
+
+
+def test_gauge_sum_records_series():
+    gauge = GaugeSum()
+    gauge.set_level("a", 10.0, 0.0)
+    gauge.set_level("b", 5.0, 2.0)
+    gauge.set_level("a", 0.0, 4.0)
+    assert gauge.series.at(0.0) == 10.0
+    assert gauge.series.at(2.0) == 15.0
+    assert gauge.series.at(4.0) == 5.0
+
+
+def test_gauge_sum_clamps_float_residue():
+    gauge = GaugeSum()
+    for _ in range(1000):
+        gauge.set_level("a", 0.1, 0.0)
+        gauge.set_level("a", 0.0, 0.0)
+    assert gauge.total == 0.0
+
+
+def test_counter():
+    counter = Counter("c")
+    counter.increment()
+    counter.increment(5)
+    assert counter.value == 6
+    with pytest.raises(ValueError):
+        counter.increment(-1)

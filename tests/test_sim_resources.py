@@ -1,0 +1,138 @@
+"""Resource and Store primitives."""
+
+import pytest
+
+from repro.sim import Resource, Simulator, Store
+
+
+def test_resource_capacity_one_serializes():
+    sim = Simulator()
+    resource = Resource(sim)
+    order = []
+
+    def user(sim, tag, hold):
+        request = yield from resource.acquire()
+        order.append(("start", tag, sim.now))
+        yield sim.timeout(hold)
+        request.release()
+        order.append(("end", tag, sim.now))
+
+    sim.spawn(user(sim, "a", 2.0))
+    sim.spawn(user(sim, "b", 1.0))
+    sim.run()
+    assert order == [("start", "a", 0.0), ("end", "a", 2.0),
+                     ("start", "b", 2.0), ("end", "b", 3.0)]
+
+
+def test_resource_capacity_two_parallel():
+    sim = Simulator()
+    resource = Resource(sim, capacity=2)
+    starts = []
+
+    def user(sim, tag):
+        request = yield from resource.acquire()
+        starts.append((tag, sim.now))
+        yield sim.timeout(1.0)
+        request.release()
+
+    for tag in range(3):
+        sim.spawn(user(sim, tag))
+    sim.run()
+    assert starts == [(0, 0.0), (1, 0.0), (2, 1.0)]
+
+
+def test_resource_counts():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    first = resource.request()
+    second = resource.request()
+    assert resource.count == 1
+    assert resource.queue_length == 1
+    first.release()
+    assert resource.count == 1
+    assert resource.queue_length == 0
+    second.release()
+    assert resource.count == 0
+    sim.run()
+
+
+def test_resource_invalid_capacity():
+    with pytest.raises(ValueError):
+        Resource(Simulator(), capacity=0)
+
+
+def test_cancel_waiting_request():
+    sim = Simulator()
+    resource = Resource(sim)
+    holder = resource.request()
+    waiter = resource.request()
+    waiter.release()  # give up while queued
+    holder.release()
+    assert resource.count == 0
+    assert resource.queue_length == 0
+    sim.run()
+
+
+def test_store_fifo_order():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(sim):
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    def producer(sim):
+        for i in range(3):
+            yield sim.timeout(1.0)
+            store.put(i)
+
+    sim.spawn(consumer(sim))
+    sim.spawn(producer(sim))
+    sim.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_get_before_put_blocks():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(sim):
+        item = yield store.get()
+        got.append((item, sim.now))
+
+    def producer(sim):
+        yield sim.timeout(5.0)
+        store.put("late")
+
+    sim.spawn(consumer(sim))
+    sim.spawn(producer(sim))
+    sim.run()
+    assert got == [("late", 5.0)]
+
+
+def test_store_buffered_get_immediate():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("x")
+    assert len(store) == 1
+    got = []
+
+    def consumer(sim):
+        item = yield store.get()
+        got.append((item, sim.now))
+
+    sim.spawn(consumer(sim))
+    sim.run()
+    assert got == [("x", 0.0)]
+    assert len(store) == 0
+
+
+def test_store_drain():
+    store = Store(Simulator())
+    for i in range(4):
+        store.put(i)
+    assert store.drain() == [0, 1, 2, 3]
+    assert len(store) == 0

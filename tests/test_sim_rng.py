@@ -1,0 +1,81 @@
+"""Deterministic named RNG streams."""
+
+import numpy as np
+import pytest
+
+from repro.sim import RandomStreams, exponential_interarrival
+
+
+def test_same_seed_same_stream():
+    a = RandomStreams(42).stream("x").random(10)
+    b = RandomStreams(42).stream("x").random(10)
+    assert np.array_equal(a, b)
+
+
+def test_different_names_differ():
+    streams = RandomStreams(42)
+    a = streams.stream("x").random(10)
+    b = streams.stream("y").random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(1).stream("x").random(10)
+    b = RandomStreams(2).stream("x").random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_creation_order_does_not_matter():
+    forward = RandomStreams(7)
+    first = forward.stream("a").random(5)
+    forward.stream("b").random(5)
+
+    backward = RandomStreams(7)
+    backward.stream("b").random(5)
+    second = backward.stream("a").random(5)
+    assert np.array_equal(first, second)
+
+
+def test_stream_is_cached():
+    streams = RandomStreams(0)
+    assert streams.stream("s") is streams.stream("s")
+
+
+def test_getitem_alias():
+    streams = RandomStreams(0)
+    assert streams["s"] is streams.stream("s")
+
+
+def test_child_scoping_isolates():
+    streams = RandomStreams(3)
+    scoped = streams.child("node-1")
+    direct = streams.stream("node-1/phase")
+    via_child = scoped.stream("phase")
+    assert direct is via_child
+
+
+def test_nested_child_scopes():
+    streams = RandomStreams(3)
+    nested = streams.child("a").child("b")
+    assert nested.stream("x") is streams.stream("a/b/x")
+
+
+def test_names_lists_created_streams():
+    streams = RandomStreams(0)
+    streams.stream("beta")
+    streams.stream("alpha")
+    assert list(streams.names()) == ["alpha", "beta"]
+
+
+def test_exponential_interarrival_positive():
+    rng = RandomStreams(5).stream("exp")
+    gaps = [exponential_interarrival(rng, 2.0) for _ in range(100)]
+    assert all(g > 0 for g in gaps)
+    # mean should be near 1/rate = 0.5
+    assert 0.3 < np.mean(gaps) < 0.8
+
+
+def test_exponential_interarrival_rejects_bad_rate():
+    rng = RandomStreams(5).stream("exp")
+    with pytest.raises(ValueError):
+        exponential_interarrival(rng, 0.0)

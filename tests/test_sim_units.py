@@ -1,0 +1,32 @@
+"""Unit conversion helpers."""
+
+import pytest
+
+from repro.sim import units
+
+
+def test_time_constants():
+    assert units.MINUTE == 60.0
+    assert units.HOUR == 3600.0
+    assert units.DAY == 24 * units.HOUR
+    assert units.MILLISECOND == pytest.approx(1e-3)
+
+
+def test_power_conversions_roundtrip():
+    assert units.kw_to_watts(units.watts_to_kw(1234.0)) == pytest.approx(
+        1234.0)
+    assert units.watts_to_kw(1500.0) == pytest.approx(1.5)
+
+
+def test_energy_conversion():
+    # 1 kW for 1 hour = 3.6 MJ = 1 kWh
+    assert units.joules_to_kwh(3_600_000.0) == pytest.approx(1.0)
+
+
+def test_rate_conversion():
+    assert units.per_hour_to_per_second(3600.0) == pytest.approx(1.0)
+
+
+def test_minutes_hours_helpers():
+    assert units.minutes(15) == 900.0
+    assert units.hours(2) == 7200.0

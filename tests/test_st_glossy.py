@@ -1,0 +1,120 @@
+"""Glossy flood primitive."""
+
+import numpy as np
+import pytest
+
+from repro.radio import FloodMedium, flocklab26, linear_layout
+from repro.sim import RandomStreams
+from repro.st import GlossyConfig, run_flood
+
+
+def make_medium(topo, seed=1, **channel_kwargs):
+    streams = RandomStreams(seed)
+    channel = topo.make_channel(rng=streams.stream("channel"),
+                                **channel_kwargs)
+    return FloodMedium(channel, streams.stream("floods"))
+
+
+def test_flood_reaches_whole_testbed():
+    medium = make_medium(flocklab26())
+    result = run_flood(medium, 0, range(26))
+    assert result.receivers == set(range(1, 26))
+
+
+def test_flood_hop_counts_grow_with_distance():
+    topo = linear_layout(5, spacing=30.0)
+    medium = make_medium(topo, shadowing_sigma_db=0.0)
+    result = run_flood(medium, 0, range(5))
+    hops = [result.hop_count(n) for n in range(5)]
+    assert hops[0] == 0
+    assert all(hops[i] is not None for i in range(5))
+    # strictly farther nodes cannot have smaller hop counts
+    assert hops[1] <= hops[2] <= hops[3] <= hops[4]
+
+
+def test_flood_initiator_not_in_receivers():
+    medium = make_medium(flocklab26())
+    result = run_flood(medium, 3, range(26))
+    assert 3 not in result.receivers
+    assert result.hop_count(3) == 0
+
+
+def test_flood_latency_positive_and_bounded():
+    medium = make_medium(flocklab26())
+    config = GlossyConfig()
+    result = run_flood(medium, 0, range(26), config)
+    for node in result.receivers:
+        latency = result.latency(node, config)
+        assert 0 < latency <= config.max_slots * config.slot_length
+    assert result.latency(0, config) == 0.0
+
+
+def test_flood_unreached_node_has_no_latency():
+    topo = linear_layout(3, spacing=300.0)  # out of range
+    medium = make_medium(topo)
+    config = GlossyConfig()
+    result = run_flood(medium, 0, range(3), config)
+    assert result.hop_count(2) is None
+    assert result.latency(2, config) is None
+
+
+def test_flood_respects_participant_subset():
+    medium = make_medium(flocklab26())
+    participants = [0, 1, 2, 3]
+    result = run_flood(medium, 0, participants)
+    assert result.receivers <= set(participants)
+
+
+def test_flood_requires_initiator_among_participants():
+    medium = make_medium(flocklab26())
+    with pytest.raises(ValueError):
+        run_flood(medium, 10, [0, 1, 2])
+
+
+def test_flood_tx_budget_respected():
+    medium = make_medium(flocklab26())
+    config = GlossyConfig(n_tx=2)
+    result = run_flood(medium, 0, range(26), config)
+    assert all(count <= 2 for count in result.tx_counts.values())
+    assert result.tx_counts[0] >= 1
+
+
+def test_flood_duration_matches_slots():
+    medium = make_medium(flocklab26())
+    config = GlossyConfig()
+    result = run_flood(medium, 0, range(26), config)
+    assert result.duration == pytest.approx(
+        result.slots_used * config.slot_length)
+    assert result.slots_used <= config.max_slots
+
+
+def test_more_ntx_no_worse_coverage():
+    """Averaged over floods, more retransmissions cannot hurt coverage."""
+    topo = flocklab26()
+    coverage = {}
+    for n_tx in (1, 3):
+        total = 0
+        medium = make_medium(topo, seed=5, shadowing_sigma_db=8.0)
+        for _ in range(20):
+            result = run_flood(medium, 0, range(26),
+                               GlossyConfig(n_tx=n_tx))
+            total += len(result.receivers)
+        coverage[n_tx] = total
+    assert coverage[3] >= coverage[1]
+
+
+def test_glossy_config_slot_length():
+    config = GlossyConfig(payload_bytes=16, header_bytes=4)
+    # PSDU = 9 + 4 + 16 + 2 = 31 bytes; airtime (5+1+31)*32us = 1.184 ms
+    assert config.psdu_bytes == 31
+    assert config.slot_length == pytest.approx(1.184e-3 + 200e-6)
+
+
+def test_dead_relays_hurt_line_topologies():
+    """Without the middle node, a 2-hop line flood cannot cross."""
+    topo = linear_layout(3, spacing=30.0)
+    medium = make_medium(topo, shadowing_sigma_db=0.0)
+    full = run_flood(medium, 0, [0, 1, 2])
+    assert 2 in full.receivers
+    amputated = run_flood(medium, 0, [0, 2])
+    assert 2 not in amputated.receivers

@@ -1,0 +1,67 @@
+"""Time synchronisation from reference floods."""
+
+import numpy as np
+
+from repro.radio import DriftingClock, FloodMedium, flocklab26
+from repro.sim import RandomStreams, Simulator
+from repro.st import GlossyConfig, SyncService, run_flood
+
+
+def build(seed=1, drift_std_ppm=40.0):
+    streams = RandomStreams(seed)
+    topo = flocklab26()
+    channel = topo.make_channel(rng=streams.stream("channel"))
+    medium = FloodMedium(channel, streams.stream("floods"))
+    sim = Simulator()
+    drift_rng = streams.stream("drift")
+    clocks = {n: DriftingClock(sim, drift_ppm=float(
+        drift_rng.normal(0, drift_std_ppm)), offset=float(
+        drift_rng.uniform(-0.5, 0.5))) for n in range(topo.n)}
+    sync = SyncService(clocks, streams.stream("sync"))
+    return sim, medium, clocks, sync
+
+
+def test_sync_collapses_large_offsets():
+    sim, medium, clocks, sync = build()
+    reference = clocks[0]
+    before = max(abs(c.error_vs(reference)) for c in clocks.values())
+    assert before > 1e-3  # clocks start far apart
+    flood = run_flood(medium, 0, range(26))
+    sync.apply_flood(flood)
+    after = max(abs(clocks[n].error_vs(reference)) for n in range(26)
+                if n not in sync.stats.unsynced_nodes)
+    assert after < 50e-6  # microsecond-level agreement
+
+
+def test_sync_stats_track_samples():
+    sim, medium, clocks, sync = build()
+    flood = run_flood(medium, 0, range(26))
+    sync.apply_flood(flood)
+    assert sync.stats.samples == 25 - len(sync.stats.unsynced_nodes)
+    assert sync.stats.mean_abs_error <= sync.stats.max_abs_error
+
+
+def test_unreached_nodes_stay_unsynced():
+    sim, medium, clocks, sync = build()
+    # flood only among a subset: the rest must be recorded as unsynced
+    flood = run_flood(medium, 0, [0, 1, 2])
+    sync.apply_flood(flood)
+    assert set(range(3, 26)) <= sync.stats.unsynced_nodes
+
+
+def test_periodic_resync_bounds_drift():
+    """Re-syncing every 2 s keeps worst-case error far below a slot."""
+    sim, medium, clocks, sync = build(drift_std_ppm=80.0)
+
+    def rounds(sim):
+        for _ in range(5):
+            flood = run_flood(medium, 0, range(26))
+            sync.apply_flood(flood)
+            yield sim.timeout(2.0)
+
+    sim.spawn(rounds(sim))
+    sim.run()
+    reference = clocks[0]
+    # 80 ppm * 2 s = 160 us worst-case accumulation between rounds
+    errors = [abs(clocks[n].error_vs(reference)) for n in range(1, 26)]
+    assert float(np.median(errors)) < 500e-6

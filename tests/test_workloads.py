@@ -1,0 +1,139 @@
+"""Arrival processes and scenario presets."""
+
+import numpy as np
+import pytest
+
+from repro.sim import RandomStreams, Simulator
+from repro.sim.units import HOUR, MINUTE
+from repro.workloads import (
+    BatchArrivals,
+    MmppArrivals,
+    PoissonArrivals,
+    burst_scenario,
+    fixed_demand,
+    geometric_demand,
+    paper_scenario,
+    stress_scenario,
+    PAPER_RATES,
+)
+
+
+def collect_arrivals(process_cls, rate, horizon=10 * HOUR, seed=1, **kwargs):
+    sim = Simulator()
+    received = []
+    sinks = {d: received.append for d in range(26)}
+    process = process_cls(sim, rate, list(range(26)), sinks,
+                          RandomStreams(seed).stream("arrivals"), **kwargs)
+    sim.spawn(process.run())
+    sim.run(until=horizon)
+    return process, received
+
+
+def test_poisson_rate_matches_nominal():
+    process, received = collect_arrivals(PoissonArrivals, 30.0)
+    hours = 10.0
+    observed_rate = len(received) / hours
+    assert observed_rate == pytest.approx(30.0, rel=0.15)
+
+
+def test_poisson_devices_roughly_uniform():
+    process, received = collect_arrivals(PoissonArrivals, 60.0)
+    counts = np.array(list(process.stats.per_device.values()))
+    assert counts.sum() == len(received)
+    assert counts.min() > 0  # every device gets some share over 600 reqs
+
+
+def test_poisson_requests_carry_arrival_time():
+    _, received = collect_arrivals(PoissonArrivals, 30.0, horizon=HOUR)
+    times = [r.arrival_time for r in received]
+    assert times == sorted(times)
+    assert all(0 <= t <= HOUR for t in times)
+
+
+def test_poisson_rejects_nonpositive_rate():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        PoissonArrivals(sim, 0.0, [0], {0: lambda r: None},
+                        RandomStreams(0).stream("x"))
+
+
+def test_batch_arrivals_release_groups():
+    process, received = collect_arrivals(BatchArrivals, 4.0,
+                                         batch_size=5)
+    assert len(received) % 5 == 0
+    # batches share the same arrival instant
+    times = {}
+    for request in received:
+        times.setdefault(request.arrival_time, 0)
+        times[request.arrival_time] += 1
+    assert all(count == 5 for count in times.values())
+
+
+def test_batch_size_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        BatchArrivals(sim, 1.0, [0], {0: lambda r: None},
+                      RandomStreams(0).stream("x"), batch_size=0)
+
+
+def test_mmpp_produces_more_variance_than_poisson():
+    _, poisson = collect_arrivals(PoissonArrivals, 30.0, horizon=20 * HOUR)
+    _, mmpp = collect_arrivals(MmppArrivals, 30.0, horizon=20 * HOUR,
+                               busy_factor=8.0, mean_dwell_s=1800.0)
+
+    def windowed_counts(requests):
+        bins = np.zeros(int(20 * HOUR // (30 * MINUTE)))
+        for request in requests:
+            bins[min(int(request.arrival_time // (30 * MINUTE)),
+                     len(bins) - 1)] += 1
+        return bins
+
+    var_poisson = windowed_counts(poisson).var()
+    var_mmpp = windowed_counts(mmpp).var()
+    assert var_mmpp > var_poisson
+
+
+def test_fixed_demand():
+    sampler = fixed_demand(3)
+    rng = RandomStreams(0).stream("d")
+    assert all(sampler(rng) == 3 for _ in range(10))
+    with pytest.raises(ValueError):
+        fixed_demand(0)
+
+
+def test_geometric_demand_mean():
+    sampler = geometric_demand(2.5)
+    rng = RandomStreams(0).stream("d")
+    draws = [sampler(rng) for _ in range(4000)]
+    assert min(draws) >= 1
+    assert np.mean(draws) == pytest.approx(2.5, rel=0.1)
+    with pytest.raises(ValueError):
+        geometric_demand(0.5)
+
+
+def test_paper_scenario_parameters():
+    scenario = paper_scenario("high")
+    assert scenario.n_devices == 26
+    assert scenario.device_power_w == 1000.0
+    assert scenario.min_dcd == 15 * MINUTE
+    assert scenario.max_dcp == 30 * MINUTE
+    assert scenario.horizon == 350 * MINUTE
+    assert scenario.arrival_rate_per_hour == 30.0
+    assert PAPER_RATES == {"low": 4.0, "moderate": 18.0, "high": 30.0}
+
+
+def test_paper_scenario_unknown_rate():
+    with pytest.raises(KeyError):
+        paper_scenario("extreme")
+
+
+def test_scenario_with_rate():
+    scenario = paper_scenario("high").with_rate(12.0)
+    assert scenario.arrival_rate_per_hour == 12.0
+    assert scenario.n_devices == 26
+
+
+def test_other_scenarios():
+    assert stress_scenario(40).n_devices == 40
+    assert burst_scenario(8).arrival_kind == "batch"
+    assert burst_scenario(8).batch_size == 8
