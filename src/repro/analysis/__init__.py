@@ -4,6 +4,8 @@ from repro.analysis.loadstats import (
     ComparisonResult,
     LoadStats,
     coefficient_of_variation,
+    coincidence_factor,
+    diversity_factor,
     load_stats,
     mean_and_std,
     peak_to_average_ratio,
@@ -13,6 +15,8 @@ from repro.analysis.loadstats import (
 )
 from repro.analysis.export import (
     multi_series_to_csv,
+    neighborhood_to_csv,
+    neighborhood_to_json,
     requests_to_csv,
     run_result_to_json,
     series_to_csv,
@@ -29,10 +33,14 @@ __all__ = [
     "ComparisonResult",
     "LoadStats",
     "coefficient_of_variation",
+    "coincidence_factor",
+    "diversity_factor",
     "format_table",
     "load_stats",
     "mean_and_std",
     "multi_series_to_csv",
+    "neighborhood_to_csv",
+    "neighborhood_to_json",
     "peak_to_average_ratio",
     "percent_reduction",
     "ramp_events",

@@ -123,6 +123,70 @@ def run_result_to_json(result, path: str | Path,
     return path
 
 
+def neighborhood_to_json(neighborhood, path: str | Path,
+                         sample_step: Optional[float] = 60.0) -> Path:
+    """Persist a :class:`~repro.neighborhood.federation.NeighborhoodResult`.
+
+    One record per home (composition + load statistics) plus the
+    feeder-level aggregate: coincident peak, diversity factor and the
+    neighborhood load-variation columns.
+    """
+    path = Path(path)
+    home_stats = neighborhood.home_stats()
+    feeder = neighborhood.feeder_stats(home_stats=home_stats)
+    homes = []
+    for spec, stats in zip(neighborhood.fleet.homes, home_stats):
+        scenario = spec.scenario
+        homes.append({
+            "name": scenario.name,
+            "archetype": spec.archetype,
+            "n_devices": scenario.n_devices,
+            "device_power_w": scenario.device_power_w,
+            "arrival_rate_per_hour": scenario.arrival_rate_per_hour,
+            "arrival_kind": scenario.arrival_kind,
+            "policy": spec.policy,
+            "seed": spec.seed,
+            "stats": stats_to_dict(stats),
+        })
+    payload = {
+        "fleet": {
+            "name": neighborhood.fleet.name,
+            "seed": neighborhood.fleet.seed,
+            "n_homes": neighborhood.fleet.n_homes,
+            "total_devices": neighborhood.fleet.total_devices,
+            "horizon_s": neighborhood.horizon,
+        },
+        "homes": homes,
+        "feeder": {
+            "stats": stats_to_dict(feeder.feeder),
+            "coincident_peak_kw": feeder.coincident_peak_kw,
+            "sum_home_peaks_kw": feeder.sum_home_peaks_kw,
+            "diversity_factor": feeder.diversity_factor,
+            "coincidence_factor": feeder.coincidence_factor,
+            "load_variation_kw": feeder.load_variation_kw,
+        },
+    }
+    if sample_step is not None:
+        grid, values = neighborhood.feeder_w.sample_grid(
+            0.0, neighborhood.horizon, sample_step)
+        payload["feeder_trace"] = {
+            "time_s": [float(t) for t in grid],
+            "load_w": [float(v) for v in values],
+        }
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def neighborhood_to_csv(neighborhood, path: str | Path,
+                        step: float = 60.0) -> Path:
+    """Feeder plus one column per home, sampled on a regular grid."""
+    series_map = {"feeder": neighborhood.feeder_w}
+    for spec, result in zip(neighborhood.fleet.homes, neighborhood.homes):
+        series_map[spec.scenario.name] = result.load_w
+    return multi_series_to_csv(series_map, path, 0.0,
+                               neighborhood.horizon, step)
+
+
 def requests_to_csv(result, path: str | Path) -> Path:
     """Per-request lifecycle log as CSV (latency analysis)."""
     path = Path(path)

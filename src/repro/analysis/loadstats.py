@@ -141,3 +141,22 @@ def peak_to_average_ratio(stats: LoadStats) -> float:
     if stats.mean_kw == 0:
         return math.inf if stats.peak_kw > 0 else 1.0
     return stats.peak_kw / stats.mean_kw
+
+
+def diversity_factor(individual_peaks_kw: list[float],
+                     coincident_peak_kw: float) -> float:
+    """Sum of individual peaks over the coincident (simultaneous) peak.
+
+    The classic distribution-engineering measure of how much member loads
+    stagger: >= 1 always, 1 when every member peaks at the same instant.
+    Returns 1.0 for a dead feeder (no meaningful diversity to report).
+    """
+    if coincident_peak_kw == 0:
+        return 1.0
+    return float(sum(individual_peaks_kw)) / coincident_peak_kw
+
+
+def coincidence_factor(individual_peaks_kw: list[float],
+                       coincident_peak_kw: float) -> float:
+    """Reciprocal of :func:`diversity_factor` (<= 1)."""
+    return 1.0 / diversity_factor(individual_peaks_kw, coincident_peak_kw)

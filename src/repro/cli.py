@@ -10,6 +10,9 @@ Usage::
     python -m repro ablation {cp-period,loss,scale,slots,variants,
                               st-vs-at,spof}
     python -m repro run --policy coordinated --rate 30 --seed 1
+    python -m repro run --jobs 4 --seeds 1 2 3 4   # parallel seed fan-out
+    python -m repro neighborhood --homes 20 --jobs 4 --mix suburb
+    python -m repro regen FIG2A HEADLINE --jobs 2
 """
 
 from __future__ import annotations
@@ -21,8 +24,15 @@ from typing import Optional, Sequence
 from repro.analysis.report import format_table
 from repro.core.system import FIDELITIES, POLICIES, HanConfig, run_experiment
 from repro.experiments import ablations, cp_trace, figures
+from repro.experiments.runner import (
+    ParallelRunner,
+    RunSpec,
+    WorkerFailure,
+    run_registry,
+)
+from repro.neighborhood import build_fleet, run_neighborhood
 from repro.sim.units import MINUTE
-from repro.workloads.scenarios import paper_scenario
+from repro.workloads.scenarios import FLEET_MIXES, paper_scenario
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -63,15 +73,105 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rate", type=float, default=30.0,
                    help="requests/hour")
     p.add_argument("--devices", type=int, default=26)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="fan --seeds out over N worker processes")
     p.add_argument("--export-json", metavar="PATH", default=None,
                    help="write the full run result as JSON")
+
+    p = sub.add_parser("neighborhood",
+                       help="N heterogeneous homes behind one feeder")
+    p.add_argument("--homes", type=int, default=20)
+    p.add_argument("--mix", choices=sorted(FLEET_MIXES), default="suburb")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the home fan-out")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--policy", choices=POLICIES, default="coordinated")
+    p.add_argument("--fidelity", choices=FIDELITIES, default="round")
+    p.add_argument("--horizon-min", type=float, default=None,
+                   help="override the 350 min horizon")
+    p.add_argument("--export-json", metavar="PATH", default=None,
+                   help="write the neighborhood result as JSON")
+    p.add_argument("--export-csv", metavar="PATH", default=None,
+                   help="write feeder + per-home load columns as CSV")
+
+    p = sub.add_parser("regen",
+                       help="regenerate registry artefacts (parallelisable)")
+    p.add_argument("ids", nargs="*",
+                   help="experiment ids (default: all; see `repro list`)")
+    p.add_argument("--jobs", type=int, default=1)
 
     sub.add_parser("list", help="list every reproducible experiment")
     return parser
 
 
+class _BadInput(Exception):
+    """Invalid CLI input (clean `error:` + exit 2, never a traceback)."""
+
+
+def _checked(factory, *factory_args, **factory_kwargs):
+    """Run an input-validating call, converting its rejections to exit 2."""
+    try:
+        return factory(*factory_args, **factory_kwargs)
+    except (KeyError, ValueError) as bad:
+        raise _BadInput(bad.args[0] if bad.args else str(bad)) from bad
+
+
+def _check_jobs(jobs: int) -> None:
+    if jobs < 1:
+        raise _BadInput(f"jobs must be >= 1, got {jobs}")
+
+
+def _run_seed_fanout(args: argparse.Namespace, scenario,
+                     horizon: Optional[float]) -> None:
+    """``repro run --jobs N``: one run per --seeds entry, in parallel."""
+    import numpy as np
+    if args.seed not in args.seeds:
+        print(f"note: --seed {args.seed} ignored in fan-out mode; "
+              f"fanning out --seeds {args.seeds}")
+    specs = [RunSpec(name=f"{scenario.name}/seed{seed}",
+                     config=HanConfig(scenario=scenario, policy=args.policy,
+                                      cp_fidelity=args.fidelity, seed=seed),
+                     until=horizon)
+             for seed in args.seeds]
+    results = ParallelRunner(jobs=args.jobs).run(specs)
+    all_stats = [result.stats(end=horizon) for result in results]
+    rows = [[seed, st.peak_kw, st.mean_kw, st.std_kw, st.energy_kwh]
+            for seed, st in zip(args.seeds, all_stats)]
+    for label, pick in (("mean", np.mean), ("std", np.std)):
+        rows.append([label,
+                     float(pick([s.peak_kw for s in all_stats])),
+                     float(pick([s.mean_kw for s in all_stats])),
+                     float(pick([s.std_kw for s in all_stats])),
+                     float(pick([s.energy_kwh for s in all_stats]))])
+    print(format_table(
+        ["seed", "peak kW", "mean kW", "std kW", "energy kWh"], rows,
+        title=f"run: {scenario.name}, policy {args.policy}, "
+              f"{len(args.seeds)} seeds x {args.jobs} jobs"))
+    if args.export_json:
+        from pathlib import Path
+
+        from repro.analysis.export import run_result_to_json
+        base = Path(args.export_json)
+        suffix = base.suffix or ".json"
+        for seed, result in zip(args.seeds, results):
+            path = base.with_name(f"{base.stem}.seed{seed}{suffix}")
+            run_result_to_json(result, path)
+            print(f"result written to {path}")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except WorkerFailure as failure:
+        print(f"error: {failure}", file=sys.stderr)
+        return 1
+    except _BadInput as bad_input:
+        print(f"error: {bad_input}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     horizon = _horizon(args) if hasattr(args, "horizon_min") else None
 
     if args.command == "fig2a":
@@ -110,6 +210,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.devices != scenario.n_devices:
             from dataclasses import replace
             scenario = replace(scenario, n_devices=args.devices)
+        _check_jobs(args.jobs)
+        if args.jobs > 1:
+            _run_seed_fanout(args, scenario, horizon)
+            return 0
         result = run_experiment(
             HanConfig(scenario=scenario, policy=args.policy,
                       cp_fidelity=args.fidelity, seed=args.seed),
@@ -130,6 +234,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             from repro.analysis.export import run_result_to_json
             path = run_result_to_json(result, args.export_json)
             print(f"result written to {path}")
+    elif args.command == "neighborhood":
+        _check_jobs(args.jobs)
+        fleet = _checked(build_fleet, args.homes, mix=args.mix,
+                         seed=args.seed, policy=args.policy,
+                         cp_fidelity=args.fidelity, horizon=horizon)
+        result = run_neighborhood(fleet, jobs=args.jobs)
+        print(result.render())
+        if args.export_json:
+            from repro.analysis.export import neighborhood_to_json
+            path = neighborhood_to_json(result, args.export_json)
+            print(f"result written to {path}")
+        if args.export_csv:
+            from repro.analysis.export import neighborhood_to_csv
+            path = neighborhood_to_csv(result, args.export_csv)
+            print(f"series written to {path}")
+    elif args.command == "regen":
+        _check_jobs(args.jobs)
+        for exp_id, artefact in _checked(run_registry, args.ids or None,
+                                         jobs=args.jobs):
+            text = getattr(artefact, "text", None)
+            print(f"== {exp_id} ==")
+            print(text if text is not None else repr(artefact))
     elif args.command == "list":
         from repro.experiments.registry import all_experiments
         rows = [[e.exp_id, e.paper_artefact, e.description]

@@ -19,7 +19,7 @@ CP fidelities: ``"ideal"``, ``"round"`` (calibrated sampling — default) and
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 import numpy as np
@@ -106,6 +106,11 @@ class RunResult:
     st_energy: Optional[dict[int, EnergyMeter]] = None
     at_stats: Optional[CollectionStats] = None
     agents: dict[int, DeviceAgentBase] = field(default_factory=dict)
+    #: Per-device ON intervals ``(on_at, off_at)`` (``off_at`` is None for a
+    #: burst still open at the horizon).  Plain data, so invariant checks
+    #: survive pickling across process boundaries.
+    bursts: dict[int, list[tuple[float, Optional[float]]]] = \
+        field(default_factory=dict)
 
     def stats(self, start: float = 0.0,
               end: Optional[float] = None) -> LoadStats:
@@ -120,6 +125,16 @@ class RunResult:
 
     def completed_requests(self) -> int:
         return sum(1 for r in self.requests if r.completed_at is not None)
+
+    def portable(self) -> "RunResult":
+        """A picklable copy for inter-process transport.
+
+        Live agents hold simulator coroutines (unpicklable generators); every
+        other field — including :attr:`bursts`, which mirrors the appliance
+        switching history — is plain data, so dropping ``agents`` is the only
+        information loss.
+        """
+        return replace(self, agents={})
 
     def st_energy_estimate_j(self) -> Optional[float]:
         """Mean per-node CP radio energy over the run.
@@ -332,7 +347,10 @@ class HanSystem:
             st_energy=self.st_energy,
             at_stats=(self.at_network.stats
                       if self.at_network is not None else None),
-            agents=dict(self.agents))
+            agents=dict(self.agents),
+            bursts={device_id: [(record.on_at, record.off_at)
+                                for record in appliance.history]
+                    for device_id, appliance in self.appliances.items()})
 
 
 def make_topology(name: str, n: int) -> Topology:

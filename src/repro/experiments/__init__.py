@@ -18,8 +18,12 @@ from repro.experiments.figures import (
     headline_numbers,
 )
 from repro.experiments.runner import (
+    ParallelRunner,
     PolicyOutcome,
+    RunSpec,
+    WorkerFailure,
     compare_policies,
+    run_registry,
     sweep_rates,
 )
 from repro.experiments import registry
@@ -27,7 +31,10 @@ from repro.experiments import registry
 __all__ = [
     "CpTraceResult",
     "FigureData",
+    "ParallelRunner",
     "PolicyOutcome",
+    "RunSpec",
+    "WorkerFailure",
     "compare_policies",
     "cp_period_sweep",
     "fig2a",
@@ -39,6 +46,7 @@ __all__ = [
     "scheduler_variants",
     "slots_sweep",
     "registry",
+    "run_registry",
     "spof_comparison",
     "st_vs_at",
     "sweep_rates",

@@ -1,15 +1,127 @@
-"""Experiment orchestration: policy comparisons over seed replications."""
+"""Experiment orchestration: policy comparisons over seed replications.
+
+The :class:`ParallelRunner` fans independently seeded runs — registry
+entries, (policy, seed) grids, neighborhood homes — out over
+``multiprocessing`` workers.  Every run derives all randomness from its own
+:class:`~repro.sim.rng.RandomStreams` root seed through order-independent
+named streams, so results are bit-identical no matter how many workers
+execute the batch or in which order they finish.
+"""
 
 from __future__ import annotations
 
+import multiprocessing
+import traceback
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
 from repro.analysis.loadstats import LoadStats, load_stats, mean_and_std
 from repro.core.system import HanConfig, RunResult, run_experiment
 from repro.workloads.scenarios import Scenario
+
+
+class WorkerFailure(RuntimeError):
+    """A fanned-out run raised; carries the failing run's name.
+
+    The original traceback text rides along so the parent process can show
+    *where* the worker died, not just that it did.
+    """
+
+    def __init__(self, name: str, detail: str):
+        super().__init__(f"run {name!r} failed in worker:\n{detail}")
+        self.name = name
+        self.detail = detail
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One picklable unit of work: a named, fully-specified experiment."""
+
+    name: str
+    config: HanConfig
+    until: Optional[float] = None
+
+
+def _execute_run_spec(spec: RunSpec) -> tuple:
+    """Worker body for :meth:`ParallelRunner.run` (module-level: picklable).
+
+    Failures are returned as data, not raised: exception instances don't
+    always survive pickling, a ``(status, name, payload)`` triple always
+    does.
+    """
+    try:
+        result = run_experiment(spec.config, until=spec.until)
+        return ("ok", spec.name, result.portable())
+    except Exception:
+        return ("err", spec.name, traceback.format_exc())
+
+
+def _execute_registry_entry(exp_id: str) -> tuple:
+    """Worker body for :meth:`ParallelRunner.regenerate`."""
+    from repro.experiments.registry import get
+    try:
+        return ("ok", exp_id, get(exp_id).regenerate())
+    except Exception:
+        return ("err", exp_id, traceback.format_exc())
+
+
+class ParallelRunner:
+    """Order-preserving fan-out of independent runs over worker processes.
+
+    ``jobs=1`` executes in-process (no pickling round-trip), which the
+    determinism tests exploit: the same specs must produce bit-identical
+    results under 1 and N workers.
+    """
+
+    def __init__(self, jobs: int = 1, mp_context: Optional[str] = None):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self._mp_context = mp_context
+
+    def run(self, specs: Sequence[RunSpec]) -> list[RunResult]:
+        """Execute every spec; results come back in input order."""
+        return self._map(_execute_run_spec, list(specs))
+
+    def regenerate(self, exp_ids: Sequence[str]) -> list[object]:
+        """Regenerate registry artefacts (figures/ablations) by id."""
+        return self._map(_execute_registry_entry, list(exp_ids))
+
+    def _map(self, worker: Callable[[object], tuple],
+             items: list) -> list:
+        if not items:
+            return []
+        if self.jobs == 1 or len(items) == 1:
+            outcomes = [worker(item) for item in items]
+        else:
+            context = multiprocessing.get_context(self._mp_context)
+            processes = min(self.jobs, len(items))
+            with context.Pool(processes=processes) as pool:
+                outcomes = pool.map(worker, items, chunksize=1)
+        results = []
+        for status, name, payload in outcomes:
+            if status == "err":
+                raise WorkerFailure(name, payload)
+            results.append(payload)
+        return results
+
+
+def run_registry(exp_ids: Optional[Sequence[str]] = None,
+                 jobs: int = 1) -> list[tuple[str, object]]:
+    """Regenerate registry entries (all of them by default), in parallel.
+
+    Returns ``(exp_id, artefact)`` pairs in id order.  Unknown ids raise
+    ``KeyError`` up front, before any work is spawned.
+    """
+    from repro.experiments.registry import all_experiments, get
+    if exp_ids:
+        ids = [get(exp_id).exp_id for exp_id in exp_ids]
+    else:
+        ids = [entry.exp_id for entry in all_experiments()]
+    artefacts = ParallelRunner(jobs=jobs).regenerate(ids)
+    return list(zip(ids, artefacts))
 
 
 @dataclass
@@ -40,16 +152,19 @@ def compare_policies(scenario: Scenario,
                      seeds: Sequence[int] = (1, 2, 3),
                      cp_fidelity: str = "round",
                      horizon: Optional[float] = None,
+                     jobs: int = 1,
                      **config_kwargs) -> dict[str, PolicyOutcome]:
     """Run every (policy, seed) combination of one scenario."""
+    specs = [RunSpec(name=f"{scenario.name}/{policy}/seed{seed}",
+                     config=HanConfig(scenario=scenario, policy=policy,
+                                      cp_fidelity=cp_fidelity, seed=seed,
+                                      **config_kwargs),
+                     until=horizon)
+             for policy in policies for seed in seeds]
+    results = ParallelRunner(jobs=jobs).run(specs)
     outcomes = {policy: PolicyOutcome(policy) for policy in policies}
-    for policy in policies:
-        for seed in seeds:
-            config = HanConfig(scenario=scenario, policy=policy,
-                               cp_fidelity=cp_fidelity, seed=seed,
-                               **config_kwargs)
-            outcomes[policy].results.append(
-                run_experiment(config, until=horizon))
+    for result in results:
+        outcomes[result.config.policy].results.append(result)
     return outcomes
 
 
@@ -57,10 +172,30 @@ def sweep_rates(scenario: Scenario, rates: Sequence[float],
                 policies: Sequence[str] = ("coordinated", "uncoordinated"),
                 seeds: Sequence[int] = (1, 2, 3),
                 cp_fidelity: str = "round",
+                horizon: Optional[float] = None,
+                jobs: int = 1,
                 **config_kwargs) -> dict[float, dict[str, PolicyOutcome]]:
-    """The Figure 2(b)/(c) sweep: policies × arrival rates × seeds."""
-    table: dict[float, dict[str, PolicyOutcome]] = {}
+    """The Figure 2(b)/(c) sweep: policies × arrival rates × seeds.
+
+    With ``jobs > 1`` the *whole* grid — every (rate, policy, seed) cell —
+    is one flat batch, so wall-clock is bounded by the slowest single run.
+    """
+    specs = []
     for rate in rates:
-        table[rate] = compare_policies(scenario.with_rate(rate), policies,
-                                       seeds, cp_fidelity, **config_kwargs)
+        rated = scenario.with_rate(rate)
+        for policy in policies:
+            for seed in seeds:
+                specs.append(RunSpec(
+                    name=f"{rated.name}/{policy}/seed{seed}",
+                    config=HanConfig(scenario=rated, policy=policy,
+                                     cp_fidelity=cp_fidelity, seed=seed,
+                                     **config_kwargs),
+                    until=horizon))
+    results = ParallelRunner(jobs=jobs).run(specs)
+    table: dict[float, dict[str, PolicyOutcome]] = {
+        rate: {policy: PolicyOutcome(policy) for policy in policies}
+        for rate in rates}
+    for result in results:
+        rate = result.config.scenario.arrival_rate_per_hour
+        table[rate][result.config.policy].results.append(result)
     return table

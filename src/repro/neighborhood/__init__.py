@@ -1,0 +1,29 @@
+"""Neighborhood layer: many heterogeneous HANs behind one feeder."""
+
+from repro.neighborhood.aggregate import (
+    FeederStats,
+    feeder_stats,
+    sum_series,
+)
+from repro.neighborhood.federation import (
+    NeighborhoodResult,
+    run_neighborhood,
+)
+from repro.neighborhood.fleet import (
+    FleetSpec,
+    HomeSpec,
+    build_fleet,
+    home_seed,
+)
+
+__all__ = [
+    "FeederStats",
+    "FleetSpec",
+    "HomeSpec",
+    "NeighborhoodResult",
+    "build_fleet",
+    "feeder_stats",
+    "home_seed",
+    "run_neighborhood",
+    "sum_series",
+]

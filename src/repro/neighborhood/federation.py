@@ -1,0 +1,93 @@
+"""Running a neighborhood: fan the homes out, aggregate the feeder.
+
+Each home is one independent :class:`~repro.core.system.HanSystem` run (the
+paper's decentralized coordination never crosses the home's meter), so a
+neighborhood is embarrassingly parallel: the federation hands every home to
+the :class:`~repro.experiments.runner.ParallelRunner` and sums the returned
+load series into the feeder profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.loadstats import LoadStats, load_stats
+from repro.analysis.report import format_table
+from repro.core.system import RunResult
+from repro.experiments.runner import ParallelRunner, RunSpec
+from repro.neighborhood.aggregate import FeederStats, feeder_stats, sum_series
+from repro.neighborhood.fleet import FleetSpec
+from repro.sim.monitor import StepSeries
+
+
+@dataclass
+class NeighborhoodResult:
+    """One neighborhood run: per-home results plus the feeder aggregate."""
+
+    fleet: FleetSpec
+    homes: list[RunResult]
+    feeder_w: StepSeries
+    horizon: float
+
+    def home_stats(self, start: float = 0.0,
+                   end: Optional[float] = None) -> list[LoadStats]:
+        window_end = end if end is not None else self.horizon
+        return [load_stats(result.load_w, start, window_end)
+                for result in self.homes]
+
+    def feeder_stats(self, start: float = 0.0,
+                     end: Optional[float] = None,
+                     home_stats: Optional[list[LoadStats]] = None,
+                     ) -> FeederStats:
+        """Feeder aggregate; pass ``home_stats`` to reuse per-home stats
+        already computed for the same window."""
+        window_end = end if end is not None else self.horizon
+        if home_stats is None:
+            home_stats = self.home_stats(start, window_end)
+        return feeder_stats(
+            self.feeder_w, [result.load_w for result in self.homes],
+            start, window_end, precomputed_home_stats=home_stats)
+
+    def total_requests(self) -> int:
+        return sum(len(result.requests) for result in self.homes)
+
+    def render(self) -> str:
+        """Plain-text report: one row per home, then the feeder summary."""
+        home_stats = self.home_stats()
+        rows = []
+        for spec, stats in zip(self.fleet.homes, home_stats):
+            scenario = spec.scenario
+            rows.append([scenario.name, spec.archetype, scenario.n_devices,
+                         f"{scenario.arrival_rate_per_hour:.1f}",
+                         stats.peak_kw, stats.mean_kw, stats.std_kw])
+        homes_table = format_table(
+            ["home", "archetype", "devices", "rate/h", "peak kW",
+             "mean kW", "std kW"],
+            rows, title=f"Neighborhood {self.fleet.name} (seed "
+                        f"{self.fleet.seed}, {self.fleet.total_devices} "
+                        f"devices)")
+        feeder_table = format_table(
+            ["feeder metric", "value"],
+            self.feeder_stats(home_stats=home_stats).rows(),
+            title="Feeder aggregate")
+        return f"{homes_table}\n\n{feeder_table}"
+
+
+def run_neighborhood(fleet: FleetSpec, jobs: int = 1,
+                     until: Optional[float] = None,
+                     mp_context: Optional[str] = None) -> NeighborhoodResult:
+    """Run every home of ``fleet`` (over ``jobs`` workers) and aggregate.
+
+    Homes are seeded independently (see
+    :func:`~repro.neighborhood.fleet.home_seed`), so the result is
+    bit-identical for any ``jobs``.
+    """
+    specs = [RunSpec(name=home.scenario.name, config=home.config(),
+                     until=until)
+             for home in fleet.homes]
+    results = ParallelRunner(jobs=jobs, mp_context=mp_context).run(specs)
+    horizon = until if until is not None else fleet.horizon
+    feeder = sum_series([result.load_w for result in results])
+    return NeighborhoodResult(fleet=fleet, homes=results, feeder_w=feeder,
+                              horizon=horizon)

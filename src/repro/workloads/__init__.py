@@ -10,24 +10,34 @@ from repro.workloads.arrivals import (
 )
 from repro.workloads.scenarios import (
     FIG2A_RATE,
+    FLEET_MIXES,
+    HOME_ARCHETYPES,
     PAPER_RATES,
     Scenario,
     burst_scenario,
+    family_home,
+    large_home,
     paper_scenario,
     stress_scenario,
+    studio_home,
 )
 
 __all__ = [
     "ArrivalStats",
     "BatchArrivals",
     "FIG2A_RATE",
+    "FLEET_MIXES",
+    "HOME_ARCHETYPES",
     "MmppArrivals",
     "PAPER_RATES",
     "PoissonArrivals",
     "Scenario",
     "burst_scenario",
+    "family_home",
     "fixed_demand",
     "geometric_demand",
+    "large_home",
     "paper_scenario",
     "stress_scenario",
+    "studio_home",
 ]

@@ -8,7 +8,9 @@ experiment observes 350 minutes of system load.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field, replace
+from typing import Callable
 
 from repro.sim.units import MINUTE
 
@@ -17,6 +19,10 @@ PAPER_RATES: dict[str, float] = {"low": 4.0, "moderate": 18.0, "high": 30.0}
 
 #: The rate used for the Figure 2(a) time series.
 FIG2A_RATE: float = PAPER_RATES["high"]
+
+#: The rate suffix :meth:`Scenario.with_rate` appends (and strips again, so
+#: chained calls don't accumulate ``@4/h@18/h`` tails).
+_RATE_SUFFIX = re.compile(r"@[0-9.eE+-]+/h$")
 
 
 @dataclass(frozen=True)
@@ -35,10 +41,19 @@ class Scenario:
     batch_size: int = 5
     notes: str = ""
 
+    @property
+    def base_name(self) -> str:
+        """The name with any ``@<rate>/h`` suffix stripped."""
+        return _RATE_SUFFIX.sub("", self.name)
+
     def with_rate(self, rate_per_hour: float) -> "Scenario":
-        """The same scenario at a different arrival rate."""
+        """The same scenario at a different arrival rate.
+
+        Chaining is idempotent on the name: any previous rate suffix is
+        replaced, never accumulated.
+        """
         return replace(self, arrival_rate_per_hour=rate_per_hour,
-                       name=f"{self.name}@{rate_per_hour:g}/h")
+                       name=f"{self.base_name}@{rate_per_hour:g}/h")
 
 
 def paper_scenario(rate_name: str = "high") -> Scenario:
@@ -69,3 +84,52 @@ def burst_scenario(batch_size: int = 8,
                     arrival_kind="batch", batch_size=batch_size,
                     arrival_rate_per_hour=rate_per_hour,
                     notes="batch arrivals: everyone comes home at once")
+
+
+# -- neighborhood fleet presets -----------------------------------------------
+#
+# The paper evaluates one 26-device home; the neighborhood layer composes
+# many smaller, heterogeneous homes behind one feeder.  Each archetype is a
+# per-home :class:`Scenario` template; fleet builders jitter device counts,
+# power ratings and arrival rates per home (see
+# :mod:`repro.neighborhood.fleet`).
+
+
+def studio_home() -> Scenario:
+    """A small flat: few light duty-cycled loads, sparse requests."""
+    return Scenario(name="studio", n_devices=6, device_power_w=800.0,
+                    min_dcd=10 * MINUTE, max_dcp=30 * MINUTE,
+                    arrival_rate_per_hour=6.0,
+                    notes="studio archetype: 6x0.8kW, sparse Poisson")
+
+
+def family_home() -> Scenario:
+    """A family house: the paper's device class at a moderate bursty rate."""
+    return Scenario(name="family", n_devices=12, device_power_w=1000.0,
+                    min_dcd=15 * MINUTE, max_dcp=30 * MINUTE,
+                    arrival_rate_per_hour=14.0, arrival_kind="mmpp",
+                    notes="family archetype: 12x1kW, bursty MMPP evenings")
+
+
+def large_home() -> Scenario:
+    """A large house: heavy loads, synchronized come-home batches."""
+    return Scenario(name="large", n_devices=20, device_power_w=1500.0,
+                    min_dcd=15 * MINUTE, max_dcp=45 * MINUTE,
+                    arrival_rate_per_hour=24.0, arrival_kind="batch",
+                    batch_size=3,
+                    notes="large archetype: 20x1.5kW, batch arrivals")
+
+
+#: Home archetypes a fleet can draw from, by name.
+HOME_ARCHETYPES: dict[str, Callable[[], Scenario]] = {
+    "studio": studio_home,
+    "family": family_home,
+    "large": large_home,
+}
+
+#: Named neighborhood compositions: archetype → sampling weight.
+FLEET_MIXES: dict[str, tuple[tuple[str, float], ...]] = {
+    "suburb": (("family", 0.6), ("large", 0.25), ("studio", 0.15)),
+    "apartments": (("studio", 0.7), ("family", 0.3)),
+    "mixed": (("studio", 1.0), ("family", 1.0), ("large", 1.0)),
+}

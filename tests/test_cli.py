@@ -84,6 +84,118 @@ def test_run_export_json(capsys, tmp_path):
     assert payload["config"]["policy"] == "coordinated"
 
 
+def test_neighborhood_command(capsys):
+    code, out = run_cli(capsys, "neighborhood", "--homes", "3", "--jobs", "2",
+                        "--fidelity", "ideal", "--horizon-min", "45",
+                        "--mix", "mixed", "--seed", "3")
+    assert code == 0
+    assert "Feeder aggregate" in out
+    assert "diversity factor" in out
+    assert "home000" in out
+
+
+def test_neighborhood_export_json(capsys, tmp_path):
+    target = tmp_path / "neighborhood.json"
+    code, out = run_cli(capsys, "neighborhood", "--homes", "2",
+                        "--fidelity", "ideal", "--horizon-min", "30",
+                        "--export-json", str(target))
+    assert code == 0
+    import json
+    payload = json.loads(target.read_text())
+    assert payload["fleet"]["n_homes"] == 2
+    assert len(payload["homes"]) == 2
+    assert payload["feeder"]["diversity_factor"] >= 1.0 - 1e-9
+
+
+def test_run_jobs_fans_out_seeds(capsys):
+    code, out = run_cli(capsys, "run", "--jobs", "2", "--seeds", "1", "2",
+                        "--fidelity", "ideal", "--horizon-min", "30",
+                        "--policy", "uncoordinated")
+    assert code == 0
+    assert "2 seeds x 2 jobs" in out
+    assert "mean" in out
+
+
+def test_run_jobs_exports_per_seed_json(capsys, tmp_path):
+    target = tmp_path / "result.json"
+    code, out = run_cli(capsys, "run", "--jobs", "2", "--seeds", "1", "2",
+                        "--fidelity", "ideal", "--horizon-min", "30",
+                        "--export-json", str(target))
+    assert code == 0
+    import json
+    for seed in (1, 2):
+        payload = json.loads((tmp_path / f"result.seed{seed}.json")
+                             .read_text())
+        assert payload["config"]["seed"] == seed
+
+
+def test_run_jobs_notes_ignored_seed(capsys):
+    code, out = run_cli(capsys, "run", "--jobs", "2", "--seed", "9",
+                        "--seeds", "1", "2", "--fidelity", "ideal",
+                        "--horizon-min", "20")
+    assert code == 0
+    assert "--seed 9 ignored" in out
+
+
+def test_neighborhood_worker_error_names_home(capsys, monkeypatch):
+    """A worker crash must surface the failing home, not a bare traceback."""
+    from dataclasses import replace
+
+    from repro import cli as cli_module
+    from repro.neighborhood import FleetSpec, build_fleet
+
+    def poisoned(n_homes, **kwargs):
+        fleet = build_fleet(n_homes, **kwargs)
+        victim = fleet.homes[1]
+        bad = replace(victim, scenario=replace(victim.scenario,
+                                               arrival_kind="bogus"))
+        homes = list(fleet.homes)
+        homes[1] = bad
+        return FleetSpec(name=fleet.name, seed=fleet.seed,
+                         homes=tuple(homes))
+
+    monkeypatch.setattr(cli_module, "build_fleet", poisoned)
+    code = cli_module.main(["neighborhood", "--homes", "3", "--jobs", "2",
+                            "--fidelity", "ideal", "--horizon-min", "30"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "home001" in captured.err
+    assert "error" in captured.err
+
+
+def test_regen_command_runs_entries(capsys, monkeypatch):
+    from repro.experiments import registry
+
+    class FakeArtefact:
+        text = "FAKE-ARTEFACT-OUTPUT"
+
+    fake = registry.Experiment("FAKE", "none", "cheap test entry",
+                               FakeArtefact, "none")
+    monkeypatch.setitem(registry.REGISTRY, "FAKE", fake)
+    code, out = run_cli(capsys, "regen", "FAKE")
+    assert code == 0
+    assert "== FAKE ==" in out
+    assert "FAKE-ARTEFACT-OUTPUT" in out
+
+
+def test_regen_unknown_id_rejected(capsys):
+    code = main(["regen", "NO-SUCH-EXPERIMENT"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "unknown experiment" in captured.err
+
+
+def test_neighborhood_bad_input_clean_error(capsys):
+    code = main(["neighborhood", "--homes", "0"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "n_homes" in captured.err
+    code = main(["neighborhood", "--homes", "2", "--jobs", "0"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "jobs" in captured.err
+
+
 def test_examples_are_importable():
     """Every example script must at least parse and expose main()."""
     import importlib.util

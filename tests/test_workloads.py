@@ -133,6 +133,35 @@ def test_scenario_with_rate():
     assert scenario.n_devices == 26
 
 
+def test_scenario_with_rate_chained_does_not_accumulate_suffixes():
+    """Regression: s.with_rate(4).with_rate(18) used to name itself
+    ``...@4/h@18/h``; the suffix must be replaced, not stacked."""
+    scenario = paper_scenario("low")
+    chained = scenario.with_rate(4.0).with_rate(18.0)
+    assert chained.name == "paper-low@18/h"
+    assert chained.name.count("@") == 1
+    assert chained.arrival_rate_per_hour == 18.0
+    # Triple-chaining and fractional rates too.
+    assert scenario.with_rate(4).with_rate(7.5).with_rate(30).name \
+        == "paper-low@30/h"
+    assert scenario.with_rate(7.5).name == "paper-low@7.5/h"
+    assert scenario.with_rate(7.5).base_name == "paper-low"
+
+
+def test_home_archetypes_and_fleet_mixes():
+    from repro.workloads import FLEET_MIXES, HOME_ARCHETYPES
+    for name, factory in HOME_ARCHETYPES.items():
+        scenario = factory()
+        assert scenario.name == name
+        assert scenario.n_devices >= 2
+        assert scenario.max_dcp >= scenario.min_dcd
+    for mix, weights in FLEET_MIXES.items():
+        assert weights, mix
+        for archetype, weight in weights:
+            assert archetype in HOME_ARCHETYPES
+            assert weight > 0
+
+
 def test_other_scenarios():
     assert stress_scenario(40).n_devices == 40
     assert burst_scenario(8).arrival_kind == "batch"
