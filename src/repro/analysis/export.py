@@ -166,6 +166,23 @@ def neighborhood_to_json(neighborhood, path: str | Path,
             "load_variation_kw": feeder.load_variation_kw,
         },
     }
+    if neighborhood.coordination is not None:
+        plan = neighborhood.coordination
+        comparison = neighborhood.comparison()
+        payload["coordination"] = {
+            "applied": plan.applied,
+            "epoch_s": plan.epoch,
+            "bin_s": plan.bin_s,
+            "sweeps": plan.sweeps,
+            "cp_rounds": plan.cp_stats.rounds_total,
+            "offsets_s": list(plan.offsets_s),
+            "independent_coincident_peak_kw":
+                comparison.independent.coincident_peak_kw,
+            "independent_diversity_factor":
+                comparison.independent.diversity_factor,
+            "diversity_uplift": comparison.diversity_uplift,
+            "peak_reduction_pct": comparison.peak_reduction_pct,
+        }
     if sample_step is not None:
         grid, values = neighborhood.feeder_w.sample_grid(
             0.0, neighborhood.horizon, sample_step)
@@ -179,10 +196,17 @@ def neighborhood_to_json(neighborhood, path: str | Path,
 
 def neighborhood_to_csv(neighborhood, path: str | Path,
                         step: float = 60.0) -> Path:
-    """Feeder plus one column per home, sampled on a regular grid."""
+    """Feeder plus one column per home, sampled on a regular grid.
+
+    Home columns are the homes' *feeder contributions*
+    (:attr:`~repro.neighborhood.federation.NeighborhoodResult.contributions_w`
+    — phase-rotated under feeder coordination), so the feeder column is
+    always exactly their sum.
+    """
     series_map = {"feeder": neighborhood.feeder_w}
-    for spec, result in zip(neighborhood.fleet.homes, neighborhood.homes):
-        series_map[spec.scenario.name] = result.load_w
+    for spec, series in zip(neighborhood.fleet.homes,
+                            neighborhood.contributions_w):
+        series_map[spec.scenario.name] = series
     return multi_series_to_csv(series_map, path, 0.0,
                                neighborhood.horizon, step)
 

@@ -12,6 +12,7 @@ Usage::
     python -m repro run --policy coordinated --rate 30 --seed 1
     python -m repro run --jobs 4 --seeds 1 2 3 4   # parallel seed fan-out
     python -m repro neighborhood --homes 20 --jobs 4 --mix suburb
+    python -m repro neighborhood --homes 20 --coordinate   # feeder CP
     python -m repro regen FIG2A HEADLINE --jobs 2
 """
 
@@ -85,6 +86,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for the home fan-out")
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--coordinate", action="store_true",
+                   help="run the feeder-level collaboration plane "
+                        "(cross-home phase staggering) and report the "
+                        "diversity-factor uplift")
     p.add_argument("--policy", choices=POLICIES, default="coordinated")
     p.add_argument("--fidelity", choices=FIDELITIES, default="round")
     p.add_argument("--horizon-min", type=float, default=None,
@@ -239,7 +244,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         fleet = _checked(build_fleet, args.homes, mix=args.mix,
                          seed=args.seed, policy=args.policy,
                          cp_fidelity=args.fidelity, horizon=horizon)
-        result = run_neighborhood(fleet, jobs=args.jobs)
+        coordination = "feeder" if args.coordinate else "independent"
+        result = run_neighborhood(fleet, jobs=args.jobs,
+                                  coordination=coordination)
         print(result.render())
         if args.export_json:
             from repro.analysis.export import neighborhood_to_json

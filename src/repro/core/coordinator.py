@@ -76,18 +76,22 @@ class DeviceAgentBase:
 
     @property
     def is_active(self) -> bool:
+        """True while the device still owes admitted execution cycles."""
         return self._active
 
     @property
     def remaining_cycles(self) -> int:
+        """Admitted ``minDCD`` cycles not yet executed."""
         return self._remaining
 
     @property
     def assigned_slot(self) -> Optional[int]:
+        """Claimed slot position (grid mode), None when inactive."""
         return self._slot
 
     @property
     def next_burst(self) -> Optional[float]:
+        """Absolute start of the next claimed burst (stagger mode)."""
         return self._next_burst
 
     # -- demand bookkeeping ----------------------------------------------------------
@@ -241,6 +245,12 @@ class CoordinatedAgent(DeviceAgentBase):
     # -- CP application interface ----------------------------------------------------
 
     def cp_payload(self, node: int, round_index: int) -> Optional[CpItem]:
+        """This DI's :class:`~repro.core.state.CpItem` for the round.
+
+        Returns ``None`` when nothing changed since the last share (the
+        :class:`~repro.st.rounds.SampledCP` driver skips such rounds);
+        ``round_index == -1`` marks a healing round and always shares.
+        """
         if round_index == -1 or self._dirty or self._announcements:
             self._dirty = False
             return self.item()
@@ -248,6 +258,14 @@ class CoordinatedAgent(DeviceAgentBase):
 
     def cp_deliver(self, node: int, packets: dict[int, CpItem],
                    round_index: int) -> None:
+        """Fold a round's received items into the view, then admit.
+
+        The admission pass (:func:`~repro.core.scheduler.plan_admissions`)
+        is a pure function of the merged
+        :class:`~repro.core.state.SharedView`, so DIs holding equal views
+        derive equal plans — the decentralized-yet-coherent property the
+        paper's scheme rests on.
+        """
         self.view.merge_items(packets.values())
         self._run_admission()
 

@@ -3,6 +3,7 @@
 from repro.experiments.ablations import (
     cp_period_sweep,
     loss_sweep,
+    neighborhood_coordination,
     scale_sweep,
     scheduler_variants,
     slots_sweep,
@@ -42,6 +43,7 @@ __all__ = [
     "fig2c",
     "headline_numbers",
     "loss_sweep",
+    "neighborhood_coordination",
     "scale_sweep",
     "scheduler_variants",
     "slots_sweep",

@@ -78,6 +78,12 @@ _register(
     ablations.scheduler_variants,
     "benchmarks/test_bench_ablation_variants.py")
 _register(
+    "NBHD-COORD", "beyond-paper: feeder-level coordination",
+    "cross-home phase staggering vs independent homes: diversity-factor "
+    "uplift across fleet mixes and sizes",
+    ablations.neighborhood_coordination,
+    "benchmarks/test_bench_neighborhood.py")
+_register(
     "ABL-ST-VS-AT", "introduction's motivation",
     "ST vs AT stacks: energy, latency, request storms",
     ablations.st_vs_at, "benchmarks/test_bench_st_vs_at.py")

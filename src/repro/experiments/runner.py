@@ -6,6 +6,12 @@ entries, (policy, seed) grids, neighborhood homes — out over
 :class:`~repro.sim.rng.RandomStreams` root seed through order-independent
 named streams, so results are bit-identical no matter how many workers
 execute the batch or in which order they finish.
+
+Units of work are picklable :class:`RunSpec` values; worker failures
+surface as :class:`WorkerFailure` carrying the failing run's *name* plus
+its traceback.  Higher-level grids (:func:`compare_policies`,
+:func:`sweep_rates`, :func:`run_registry`) flatten every cell into one
+batch so wall-clock is bounded by the slowest single run.
 """
 
 from __future__ import annotations
@@ -132,6 +138,7 @@ class PolicyOutcome:
     results: list[RunResult] = field(default_factory=list)
 
     def stats(self) -> list[LoadStats]:
+        """Per-seed :class:`~repro.analysis.loadstats.LoadStats`."""
         return [r.stats() for r in self.results]
 
     def metric(self, name: str) -> tuple[float, float]:
@@ -140,6 +147,7 @@ class PolicyOutcome:
         return mean_and_std(values)
 
     def waiting_time_mean(self) -> float:
+        """Mean request waiting time pooled across every seed's run."""
         waits: list[float] = []
         for result in self.results:
             waits.extend(result.waiting_times())

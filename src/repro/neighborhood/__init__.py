@@ -1,11 +1,35 @@
-"""Neighborhood layer: many heterogeneous HANs behind one feeder."""
+"""Neighborhood layer: many heterogeneous HANs behind one feeder.
+
+Four modules, one pipeline (see ``docs/architecture.md``):
+
+* :mod:`~repro.neighborhood.fleet` — deterministic heterogeneous fleet
+  construction (:func:`build_fleet`);
+* :mod:`~repro.neighborhood.federation` — the parallel fan-out and result
+  packaging (:func:`run_neighborhood`);
+* :mod:`~repro.neighborhood.coordination` — the feeder-level
+  collaboration plane (:func:`coordinate_fleet`, ``docs/coordination.md``);
+* :mod:`~repro.neighborhood.aggregate` — exact feeder summation and
+  feeder statistics (:func:`feeder_stats`).
+"""
 
 from repro.neighborhood.aggregate import (
+    FeederComparison,
     FeederStats,
     feeder_stats,
     sum_series,
 )
+from repro.neighborhood.coordination import (
+    FeederConfig,
+    FeederCoordination,
+    FeederPlane,
+    HomeItem,
+    coordinate_fleet,
+    negotiate_offsets,
+    phase_envelope,
+    rotate_series,
+)
 from repro.neighborhood.federation import (
+    COORDINATION_MODES,
     NeighborhoodResult,
     run_neighborhood,
 )
@@ -17,13 +41,23 @@ from repro.neighborhood.fleet import (
 )
 
 __all__ = [
+    "COORDINATION_MODES",
+    "FeederComparison",
+    "FeederConfig",
+    "FeederCoordination",
+    "FeederPlane",
     "FeederStats",
     "FleetSpec",
+    "HomeItem",
     "HomeSpec",
     "NeighborhoodResult",
     "build_fleet",
+    "coordinate_fleet",
     "feeder_stats",
     "home_seed",
+    "negotiate_offsets",
+    "phase_envelope",
+    "rotate_series",
     "run_neighborhood",
     "sum_series",
 ]

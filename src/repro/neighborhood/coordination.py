@@ -1,0 +1,425 @@
+"""Feeder-level collaboration plane: the paper's CP, one level up.
+
+The paper's collaborative scheme (§II) never crosses the home's meter:
+every Device Interface shares a :class:`~repro.core.state.CpItem` over
+MiniCast rounds, and the shared deterministic scheduler staggers bursts
+*inside* one home.  Behind a feeder, independently coordinated homes still
+peak together — PR 1's neighborhood layer measures that as a diversity
+factor barely above 1.
+
+This module extends the same announce/claim/stagger structure across
+homes, in the spirit of distributed neighborhood scheduling
+(arXiv:2011.04338) and online multi-home load coordination
+(arXiv:2304.11770):
+
+* each home's gateway (its smart meter uplink) publishes a compact
+  :class:`HomeItem` — the home's *claimed-burst envelope*, i.e. the
+  per-phase-bin upper bound of its realized Type-2 load — the
+  neighborhood analogue of a :class:`~repro.core.state.CpItem`;
+* a decentralized **feeder round** runs over the very same CP driver the
+  in-home plane uses (:class:`~repro.st.rounds.IdealCP` on a private
+  :class:`~repro.sim.kernel.Simulator`): one gateway per round holds the
+  claim token and picks the **phase offset** minimising the projected
+  feeder peak given every other home's claimed envelope — exactly the
+  in-home scheduler's one-by-one stagger logic, one level up;
+* the negotiated offsets are applied by *phase-rotating* each home's
+  realized load profile (:func:`rotate_series`).  The workloads are
+  time-homogeneous (Poisson / MMPP / batch arrivals with no
+  time-of-day structure), so a cyclic rotation of a home's trajectory
+  is a sample path of the phase-shifted home — and rotation preserves
+  each home's energy and individual peak *exactly*, which pins the
+  conservation law the invariant tests rely on: coordination moves
+  load, it never sheds it.
+
+Determinism: the plane consumes only the (already bit-deterministic)
+per-home results, in fleet order, and draws no randomness — so
+``run_neighborhood(..., coordination="feeder")`` stays bit-identical for
+any ``jobs`` count.
+
+Safety: the per-bin envelope makes the negotiated objective an *upper
+bound* on the realized feeder peak, so the plane re-evaluates the final
+plan against the realized profiles and falls back to zero offsets
+(``applied=False``) if staggering would not strictly lower the realized
+coincident peak.  The feeder plane is advisory — it never regresses the
+feeder it coordinates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
+
+from repro.core.system import RunResult
+from repro.neighborhood.aggregate import sum_series
+from repro.sim.kernel import Simulator
+from repro.sim.monitor import StepSeries
+from repro.st.rounds import CpStats, IdealCP
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.neighborhood.fleet import FleetSpec
+
+#: serialized footprint of a HomeItem header on the wire, bytes
+HOME_ITEM_HEADER_BYTES: int = 10
+#: bytes per quantized envelope bin on the wire
+ENVELOPE_BIN_BYTES: int = 2
+
+
+@dataclass(frozen=True)
+class FeederConfig:
+    """Knobs of the feeder collaboration plane.
+
+    Defaults mirror the in-home Communication Plane where a counterpart
+    exists: feeder rounds run every ``period`` (= the paper's 2 s MiniCast
+    period), and the phase ``epoch`` defaults to the fleet's largest
+    ``maxDCP`` — the recurrence period of the bursts being staggered.
+    """
+
+    #: phase period the offsets live in; None = max home ``maxDCP``
+    epoch: Optional[float] = None
+    #: nominal envelope bin width (seconds) — also the offset
+    #: granularity; snapped so bins tile the horizon exactly
+    bin_s: float = 60.0
+    #: maximum full claim sweeps (every gateway claims once per sweep)
+    max_sweeps: int = 4
+    #: feeder CP round period, seconds (one claim token per round)
+    period: float = 2.0
+    #: re-check the realized feeder peak and refuse a non-improving plan
+    guard: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bin_s <= 0:
+            raise ValueError(f"bin_s must be > 0, got {self.bin_s}")
+        if self.max_sweeps < 1:
+            raise ValueError(
+                f"max_sweeps must be >= 1, got {self.max_sweeps}")
+        if self.epoch is not None and self.epoch <= 0:
+            raise ValueError(f"epoch must be > 0, got {self.epoch}")
+
+
+@dataclass(frozen=True)
+class HomeItem:
+    """One home gateway's payload for a feeder CP round.
+
+    The neighborhood analogue of the in-home
+    :class:`~repro.core.state.CpItem`: instead of one device's status plus
+    announcements, a gateway shares its whole home's *aggregate
+    claimed-burst envelope* — the per-bin upper bound of the home's load
+    over the observation window — plus the phase ``shift`` (in bins) it
+    currently claims.  Items are versioned so view merges stay idempotent
+    and order-insensitive, mirroring
+    :meth:`repro.core.state.SharedView.merge_item`.
+    """
+
+    home_id: int
+    version: int
+    #: claimed phase offset, in envelope bins
+    shift: int
+    #: per-bin upper bound of the home's load over the horizon, watts
+    envelope: tuple[float, ...]
+    #: the home's individual peak (max of the envelope), watts
+    peak_w: float
+
+    @property
+    def wire_bytes(self) -> int:
+        """Approximate serialized size (quantized bins), for airtime
+        accounting — the feeder analogue of
+        :attr:`repro.core.state.CpItem.wire_bytes`."""
+        return (HOME_ITEM_HEADER_BYTES
+                + ENVELOPE_BIN_BYTES * len(self.envelope))
+
+
+@dataclass
+class FeederCoordination:
+    """Outcome of one feeder-plane negotiation over a finished fleet run.
+
+    Carries both the coordinated and the independent (un-rotated) feeder
+    series so :class:`~repro.neighborhood.federation.NeighborhoodResult`
+    can report the diversity-factor uplift without re-running anything.
+    """
+
+    #: resolved phase period (seconds)
+    epoch: float
+    #: envelope bin width = offset granularity (seconds)
+    bin_s: float
+    #: negotiated per-home phase offsets (seconds, fleet order)
+    planned_offsets_s: tuple[float, ...]
+    #: offsets actually applied (all zero when the guard declined)
+    offsets_s: tuple[float, ...]
+    #: False when the guard found no realized improvement and fell back
+    applied: bool
+    #: full claim sweeps the negotiation ran before converging
+    sweeps: int
+    #: feeder CP round statistics (reused :class:`~repro.st.rounds.CpStats`)
+    cp_stats: CpStats
+    #: per-home feeder contributions (phase-rotated load), fleet order
+    contributions_w: list[StepSeries]
+    #: Σ un-rotated homes — the independent baseline feeder profile
+    independent_w: StepSeries
+    #: Σ rotated homes — what the feeder carries under coordination
+    coordinated_w: StepSeries
+
+
+# ---------------------------------------------------------------------------
+# envelopes and rotation
+# ---------------------------------------------------------------------------
+
+def _series_segments(series: StepSeries,
+                     horizon: float) -> list[tuple[float, float, float]]:
+    """``(start, end, value)`` segments partitioning ``[0, horizon)``.
+
+    Thin wrapper over :meth:`~repro.sim.monitor.StepSeries.segments`, the
+    canonical decomposition the statistics are computed from — rotation
+    and envelopes must agree with it bit for bit.
+    """
+    return list(series.segments(0.0, horizon))
+
+
+def phase_envelope(series: StepSeries, horizon: float,
+                   bin_s: float) -> tuple[float, ...]:
+    """Per-bin upper bound of ``series`` on a regular grid over the window.
+
+    Bin ``b`` covers ``[b * bin_s, (b + 1) * bin_s)``; its envelope value
+    is the *maximum* signal value attained inside, so summed envelopes
+    upper-bound the summed signals — the property the feeder plane's
+    claim objective relies on.
+    """
+    # The tiny slack keeps exact divisions (the usual case — see
+    # coordinate_fleet's bin snapping) from spilling into an extra bin
+    # through float rounding.
+    bins = int(math.ceil(horizon / bin_s - 1e-9))
+    envelope = [0.0] * bins
+    for start, end, value in _series_segments(series, horizon):
+        if value <= 0.0:
+            continue
+        first = int(start // bin_s)
+        last = min(int(math.ceil(end / bin_s)), bins)
+        for b in range(first, last):
+            if value > envelope[b]:
+                envelope[b] = value
+    return tuple(envelope)
+
+
+def rotate_series(series: StepSeries, offset: float, horizon: float,
+                  name: Optional[str] = None) -> StepSeries:
+    """Cyclically delay ``series`` by ``offset`` within ``[0, horizon)``.
+
+    Returns the step series ``r(t) = s((t − offset) mod horizon)``: the
+    home's day, started ``offset`` later, with the displaced tail wrapping
+    to the front (the steady-state reading of a phase shift).  Rotation
+    permutes the constant segments without changing their durations or
+    values, so the integral (energy), the time-weighted distribution and
+    the peak over ``[0, horizon)`` are all preserved.
+    """
+    out = StepSeries(name if name is not None else series.name)
+    offset = offset % horizon
+    if offset == 0.0:
+        for start, _end, value in _series_segments(series, horizon):
+            out.record(start, value)
+        return out
+    shifted: list[tuple[float, float]] = []
+    for start, end, value in _series_segments(series, horizon):
+        new_start = start + offset
+        new_end = end + offset
+        if new_start >= horizon:
+            shifted.append((new_start - horizon, value))
+        elif new_end > horizon:
+            shifted.append((new_start, value))
+            shifted.append((0.0, value))
+        else:
+            shifted.append((new_start, value))
+    for start, value in sorted(shifted):
+        out.record(start, value)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the decentralized feeder round
+# ---------------------------------------------------------------------------
+
+class FeederPlane:
+    """The feeder-level :class:`~repro.st.rounds.CpApplication`.
+
+    One *gateway* per home plugs into a CP driver exactly the way
+    :class:`~repro.core.system.HanSystem` plugs per-DI agents in: the
+    driver calls :meth:`cp_payload` to gather every gateway's
+    :class:`HomeItem` and :meth:`cp_deliver` to hand each gateway the
+    round's packets.  Claims are made one by one — the gateway whose
+    ``home_id`` matches the round index (round-robin token) re-claims its
+    phase offset against the envelopes everyone else published, mirroring
+    the paper's one-by-one admission order.  A claim is only moved when it
+    *strictly* lowers the projected feeder peak, so the negotiation is a
+    descent on a finite lattice and always converges.
+    """
+
+    def __init__(self, home_ids: Sequence[int],
+                 envelopes: dict[int, tuple[float, ...]],
+                 shifts: int):
+        if shifts < 1:
+            raise ValueError(f"need >= 1 candidate shift, got {shifts}")
+        self.home_ids = list(home_ids)
+        self.shifts = shifts
+        self._envelopes = {home: np.asarray(envelopes[home], dtype=float)
+                           for home in self.home_ids}
+        self.claims: dict[int, int] = {home: 0 for home in self.home_ids}
+        self._versions: dict[int, int] = {home: 1 for home in self.home_ids}
+        self._views: dict[int, dict[int, HomeItem]] = {
+            home: {} for home in self.home_ids}
+        self.sweep_changed = False
+
+    # -- CpApplication interface ------------------------------------------------
+
+    def cp_payload(self, node: int, round_index: int) -> HomeItem:
+        """The gateway's current item (always fresh: claims are cheap)."""
+        envelope = self._envelopes[node]
+        return HomeItem(home_id=node, version=self._versions[node],
+                        shift=self.claims[node],
+                        envelope=tuple(envelope),
+                        peak_w=float(envelope.max(initial=0.0)))
+
+    def cp_deliver(self, node: int, packets: dict[int, HomeItem],
+                   round_index: int) -> None:
+        """Merge the round's items; re-claim if ``node`` holds the token."""
+        view = self._views[node]
+        for origin, item in packets.items():
+            known = view.get(origin)
+            if known is None or item.version > known.version:
+                view[origin] = item
+        token = self.home_ids[round_index % len(self.home_ids)]
+        if node != token:
+            return
+        best = self._best_shift(node)
+        if best != self.claims[node]:
+            self.claims[node] = best
+            self._versions[node] += 1
+            self.sweep_changed = True
+
+    # -- the claim rule ----------------------------------------------------------
+
+    def _combined_others(self, node: int) -> np.ndarray:
+        """Projected feeder load per bin from everyone else's claims."""
+        view = self._views[node]
+        combined = np.zeros(len(self._envelopes[node]), dtype=float)
+        for origin, item in view.items():
+            if origin == node:
+                continue
+            combined += np.roll(np.asarray(item.envelope, dtype=float),
+                                item.shift)
+        return combined
+
+    def _best_shift(self, node: int) -> int:
+        """Least-peak phase for ``node`` given the others, stagger-style.
+
+        Selection keys mirror :func:`repro.core.scheduler._pick_start`
+        one level up: (1) smallest projected feeder peak, (2) the current
+        claim when it ties (stability — only strict improvements move),
+        (3) the earliest phase.
+        """
+        combined = self._combined_others(node)
+        envelope = self._envelopes[node]
+        current = self.claims[node]
+        rolled = np.stack([np.roll(envelope, s)
+                           for s in range(self.shifts)])
+        peaks = (combined[None, :] + rolled).max(axis=1)
+        floor = float(peaks.min())
+        candidates = [s for s in range(self.shifts)
+                      if peaks[s] <= floor + 1e-9]
+        if current in candidates:
+            return current
+        return candidates[0]
+
+
+def negotiate_offsets(home_ids: Sequence[int],
+                      envelopes: dict[int, tuple[float, ...]],
+                      shifts: int,
+                      config: FeederConfig,
+                      ) -> tuple[dict[int, int], CpStats, int]:
+    """Run feeder CP rounds until the claims converge.
+
+    Drives a :class:`FeederPlane` with the in-home round machinery
+    (:class:`~repro.st.rounds.IdealCP` on a private simulator), one claim
+    token per round, until a full sweep moves no claim or
+    :attr:`FeederConfig.max_sweeps` is reached.  Returns the claimed
+    shifts (bins) per home, the CP round statistics and the number of
+    sweeps run.
+    """
+    plane = FeederPlane(home_ids, envelopes, shifts)
+    sim = Simulator()
+    cp = IdealCP(sim, plane, home_ids, period=config.period)
+    cp.start()
+    n = len(plane.home_ids)
+    sweeps = 0
+    for sweep in range(config.max_sweeps):
+        plane.sweep_changed = False
+        # Rounds sweep*n .. sweep*n + n − 1 run at round_index * period.
+        sim.run(until=((sweep + 1) * n - 1) * config.period)
+        sweeps += 1
+        if not plane.sweep_changed:
+            break
+    return dict(plane.claims), cp.stats, sweeps
+
+
+# ---------------------------------------------------------------------------
+# putting it together
+# ---------------------------------------------------------------------------
+
+def coordinate_fleet(fleet: "FleetSpec", results: Sequence[RunResult],
+                     horizon: float,
+                     config: Optional[FeederConfig] = None,
+                     ) -> FeederCoordination:
+    """Negotiate and apply cross-home phase offsets for a finished run.
+
+    ``results`` are the per-home :class:`~repro.core.system.RunResult`
+    objects of ``fleet`` (fleet order), as produced by the independent
+    fan-out in :func:`~repro.neighborhood.federation.run_neighborhood`.
+    Pure post-exchange: no randomness, no re-simulation, bit-identical
+    for any worker count.
+    """
+    if config is None:
+        config = FeederConfig()
+    if len(results) != fleet.n_homes:
+        raise ValueError(
+            f"fleet has {fleet.n_homes} homes but got {len(results)} "
+            f"results")
+    epoch = config.epoch if config.epoch is not None \
+        else max(home.scenario.max_dcp for home in fleet.homes)
+    epoch = min(epoch, horizon)
+    # Snap the bin width so bins tile the horizon exactly: the claim
+    # objective rolls envelopes on a cycle of bins x bin_s, and rotation
+    # wraps at the horizon — the two cycles must be the same length or
+    # the negotiated offsets optimize a mis-wrapped profile.
+    n_bins = max(int(round(horizon / config.bin_s)), 1)
+    bin_s = horizon / n_bins
+    shifts = max(int(epoch / bin_s + 1e-9), 1)
+    home_ids = [home.home_id for home in fleet.homes]
+    envelopes = {
+        home.home_id: phase_envelope(result.load_w, horizon, bin_s)
+        for home, result in zip(fleet.homes, results)}
+    claims, cp_stats, sweeps = negotiate_offsets(home_ids, envelopes,
+                                                 shifts, config)
+    planned = tuple(claims[home.home_id] * bin_s
+                    for home in fleet.homes)
+    independent = sum_series([r.load_w for r in results])
+    rotated = [rotate_series(result.load_w, offset, horizon)
+               for result, offset in zip(results, planned)]
+    coordinated = sum_series(rotated)
+    applied = True
+    if config.guard and any(offset != 0.0 for offset in planned):
+        if coordinated.maximum(0.0, horizon) \
+                >= independent.maximum(0.0, horizon) - 1e-9:
+            applied = False
+    elif all(offset == 0.0 for offset in planned):
+        applied = False
+    if not applied:
+        rotated = [rotate_series(result.load_w, 0.0, horizon)
+                   for result in results]
+        coordinated = independent
+    return FeederCoordination(
+        epoch=epoch, bin_s=bin_s,
+        planned_offsets_s=planned,
+        offsets_s=planned if applied else tuple(0.0 for _ in planned),
+        applied=applied, sweeps=sweeps, cp_stats=cp_stats,
+        contributions_w=rotated, independent_w=independent,
+        coordinated_w=coordinated)

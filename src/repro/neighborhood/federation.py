@@ -5,33 +5,82 @@ paper's decentralized coordination never crosses the home's meter), so a
 neighborhood is embarrassingly parallel: the federation hands every home to
 the :class:`~repro.experiments.runner.ParallelRunner` and sums the returned
 load series into the feeder profile.
+
+With ``coordination="feeder"`` a second, cross-home collaboration plane
+runs after the fan-out: the feeder CP of
+:mod:`repro.neighborhood.coordination` negotiates per-home phase offsets
+(the paper's announce/claim/stagger exchange, one level up) and the feeder
+profile becomes the sum of the re-phased homes.  The home runs themselves
+— and therefore per-home peaks, energies and request logs — are untouched,
+and the whole pipeline stays bit-identical for any ``jobs`` count.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.analysis.loadstats import LoadStats, load_stats
 from repro.analysis.report import format_table
 from repro.core.system import RunResult
 from repro.experiments.runner import ParallelRunner, RunSpec
-from repro.neighborhood.aggregate import FeederStats, feeder_stats, sum_series
+from repro.neighborhood.aggregate import (
+    FeederComparison,
+    FeederStats,
+    feeder_stats,
+    sum_series,
+)
+from repro.neighborhood.coordination import (
+    FeederConfig,
+    FeederCoordination,
+    coordinate_fleet,
+)
 from repro.neighborhood.fleet import FleetSpec
 from repro.sim.monitor import StepSeries
+
+#: How homes behind the feeder relate: ``"independent"`` (the paper's
+#: scheme stops at the meter) or ``"feeder"`` (cross-home staggering via
+#: :mod:`repro.neighborhood.coordination`).
+COORDINATION_MODES = ("independent", "feeder")
 
 
 @dataclass
 class NeighborhoodResult:
-    """One neighborhood run: per-home results plus the feeder aggregate."""
+    """One neighborhood run: per-home results plus the feeder aggregate.
+
+    When the run was feeder-coordinated, :attr:`coordination` carries the
+    negotiated :class:`~repro.neighborhood.coordination.FeederCoordination`
+    and :attr:`feeder_w` is the *coordinated* profile; :meth:`comparison`
+    then reports the uplift over the independent baseline (which rides
+    along in the coordination record — no second run needed).
+    """
 
     fleet: FleetSpec
     homes: list[RunResult]
     feeder_w: StepSeries
     horizon: float
+    coordination: Optional[FeederCoordination] = field(default=None)
+
+    @property
+    def contributions_w(self) -> list[StepSeries]:
+        """Per-home feeder contributions, fleet order.
+
+        The homes' own load series when independent; their phase-rotated
+        series under feeder coordination.  Either way the feeder profile
+        is exactly their sum.
+        """
+        if self.coordination is not None:
+            return self.coordination.contributions_w
+        return [result.load_w for result in self.homes]
 
     def home_stats(self, start: float = 0.0,
                    end: Optional[float] = None) -> list[LoadStats]:
+        """Per-home :class:`~repro.analysis.loadstats.LoadStats`.
+
+        Computed from the homes' own (un-rotated) series: phase rotation
+        preserves peak, mean, std and energy, so these are the homes'
+        statistics under either coordination mode.
+        """
         window_end = end if end is not None else self.horizon
         return [load_stats(result.load_w, start, window_end)
                 for result in self.homes]
@@ -46,48 +95,117 @@ class NeighborhoodResult:
         if home_stats is None:
             home_stats = self.home_stats(start, window_end)
         return feeder_stats(
-            self.feeder_w, [result.load_w for result in self.homes],
+            self.feeder_w, self.contributions_w,
             start, window_end, precomputed_home_stats=home_stats)
 
+    def comparison(self, start: float = 0.0,
+                   end: Optional[float] = None) -> Optional[FeederComparison]:
+        """Coordinated-vs-independent uplift, if this run was coordinated.
+
+        Returns ``None`` for an independent run (there is nothing to
+        compare against without re-running the fleet).
+        """
+        if self.coordination is None:
+            return None
+        window_end = end if end is not None else self.horizon
+        home_stats = self.home_stats(start, window_end)
+        independent = feeder_stats(
+            self.coordination.independent_w,
+            [result.load_w for result in self.homes],
+            start, window_end, precomputed_home_stats=home_stats)
+        coordinated = feeder_stats(
+            self.coordination.coordinated_w, self.contributions_w,
+            start, window_end, precomputed_home_stats=home_stats)
+        return FeederComparison(independent=independent,
+                                coordinated=coordinated)
+
     def total_requests(self) -> int:
+        """Number of user requests across every home."""
         return sum(len(result.requests) for result in self.homes)
 
     def render(self) -> str:
-        """Plain-text report: one row per home, then the feeder summary."""
+        """Plain-text report: one row per home, then the feeder summary.
+
+        Coordinated runs additionally show each home's phase offset and
+        the coordinated-vs-independent comparison table.
+        """
         home_stats = self.home_stats()
+        coordinated = self.coordination is not None
         rows = []
-        for spec, stats in zip(self.fleet.homes, home_stats):
+        for index, (spec, stats) in enumerate(zip(self.fleet.homes,
+                                                  home_stats)):
             scenario = spec.scenario
-            rows.append([scenario.name, spec.archetype, scenario.n_devices,
-                         f"{scenario.arrival_rate_per_hour:.1f}",
-                         stats.peak_kw, stats.mean_kw, stats.std_kw])
+            row = [scenario.name, spec.archetype, scenario.n_devices,
+                   f"{scenario.arrival_rate_per_hour:.1f}",
+                   stats.peak_kw, stats.mean_kw, stats.std_kw]
+            if coordinated:
+                offset = self.coordination.offsets_s[index]
+                row.append(f"{offset / 60.0:.1f}")
+            rows.append(row)
+        headers = ["home", "archetype", "devices", "rate/h", "peak kW",
+                   "mean kW", "std kW"]
+        if coordinated:
+            headers.append("phase min")
         homes_table = format_table(
-            ["home", "archetype", "devices", "rate/h", "peak kW",
-             "mean kW", "std kW"],
-            rows, title=f"Neighborhood {self.fleet.name} (seed "
-                        f"{self.fleet.seed}, {self.fleet.total_devices} "
-                        f"devices)")
+            headers, rows,
+            title=f"Neighborhood {self.fleet.name} (seed "
+                  f"{self.fleet.seed}, {self.fleet.total_devices} "
+                  f"devices)")
         feeder_table = format_table(
             ["feeder metric", "value"],
             self.feeder_stats(home_stats=home_stats).rows(),
             title="Feeder aggregate")
-        return f"{homes_table}\n\n{feeder_table}"
+        parts = [homes_table, feeder_table]
+        if coordinated:
+            plan = self.coordination
+            comparison = self.comparison()
+            status = "applied" if plan.applied else \
+                "declined (no realized improvement)"
+            comparison_table = format_table(
+                ["feeder metric", "independent", "coordinated"],
+                comparison.rows(),
+                title=f"Feeder coordination ({status}; "
+                      f"epoch {plan.epoch / 60.0:.0f} min, "
+                      f"{plan.cp_stats.rounds_total} CP rounds, "
+                      f"{plan.sweeps} sweeps)")
+            parts.append(comparison_table)
+        return "\n\n".join(parts)
 
 
 def run_neighborhood(fleet: FleetSpec, jobs: int = 1,
                      until: Optional[float] = None,
-                     mp_context: Optional[str] = None) -> NeighborhoodResult:
+                     mp_context: Optional[str] = None,
+                     coordination: str = "independent",
+                     feeder: Optional[FeederConfig] = None,
+                     ) -> NeighborhoodResult:
     """Run every home of ``fleet`` (over ``jobs`` workers) and aggregate.
 
     Homes are seeded independently (see
     :func:`~repro.neighborhood.fleet.home_seed`), so the result is
     bit-identical for any ``jobs``.
+
+    ``coordination`` selects the feeder behaviour (one of
+    :data:`COORDINATION_MODES`): ``"independent"`` sums the homes as they
+    ran; ``"feeder"`` additionally negotiates cross-home phase offsets
+    through :func:`~repro.neighborhood.coordination.coordinate_fleet`
+    (optionally tuned by a
+    :class:`~repro.neighborhood.coordination.FeederConfig`) and sums the
+    re-phased homes instead.
     """
+    if coordination not in COORDINATION_MODES:
+        known = ", ".join(COORDINATION_MODES)
+        raise ValueError(
+            f"coordination must be one of: {known}; got {coordination!r}")
     specs = [RunSpec(name=home.scenario.name, config=home.config(),
                      until=until)
              for home in fleet.homes]
     results = ParallelRunner(jobs=jobs, mp_context=mp_context).run(specs)
     horizon = until if until is not None else fleet.horizon
-    feeder = sum_series([result.load_w for result in results])
-    return NeighborhoodResult(fleet=fleet, homes=results, feeder_w=feeder,
+    if coordination == "feeder":
+        plan = coordinate_fleet(fleet, results, horizon, config=feeder)
+        return NeighborhoodResult(fleet=fleet, homes=results,
+                                  feeder_w=plan.coordinated_w,
+                                  horizon=horizon, coordination=plan)
+    feeder_w = sum_series([result.load_w for result in results])
+    return NeighborhoodResult(fleet=fleet, homes=results, feeder_w=feeder_w,
                               horizon=horizon)

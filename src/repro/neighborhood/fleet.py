@@ -1,10 +1,12 @@
 """Heterogeneous home fleets for neighborhood-scale simulation.
 
-A fleet is N fully-specified homes behind one feeder.  Each home draws its
-archetype (studio / family / large), device count, power rating and arrival
-rate from *named* random streams — ``fleet/home-<i>`` — of one root seed,
-so home *i* is identical whether the fleet is built for 4 homes or 400,
-serially or in parallel.
+A fleet (:class:`FleetSpec`) is N fully-specified homes behind one feeder.
+Each home (:class:`HomeSpec`) draws its archetype (studio / family /
+large, see :data:`repro.workloads.scenarios.HOME_ARCHETYPES`), device
+count, power rating and arrival rate from *named* random streams —
+``fleet/home-<i>`` — of one root seed
+(:class:`~repro.sim.rng.RandomStreams`), so home *i* is identical whether
+the fleet is built for 4 homes or 400, serially or in parallel.
 """
 
 from __future__ import annotations
@@ -58,10 +60,12 @@ class FleetSpec:
 
     @property
     def n_homes(self) -> int:
+        """Number of homes behind the feeder."""
         return len(self.homes)
 
     @property
     def total_devices(self) -> int:
+        """Type-2 devices across every home of the fleet."""
         return sum(home.scenario.n_devices for home in self.homes)
 
     @property

@@ -87,11 +87,16 @@ class StepSeries:
         grid = np.arange(start, end, step, dtype=float)
         return grid, self.sample(grid)
 
-    # -- time-weighted statistics over [start, end) ---------------------------
+    def segments(self, start: float,
+                 end: float) -> Iterator[tuple[float, float, float]]:
+        """Yield ``(seg_start, seg_end, value)`` partitioning ``[start, end)``.
 
-    def _segments(self, start: float,
-                  end: float) -> Iterator[tuple[float, float]]:
-        """Yield ``(duration, value)`` for each constant segment in range."""
+        The canonical constant-segment decomposition of the series: the
+        signal is 0 before the first record (matching :meth:`at`), and
+        consecutive segments are contiguous.  Derived views (rotation,
+        envelopes, the time-weighted statistics below) should build on
+        this rather than re-deriving the semantics.
+        """
         if end <= start:
             return
         value = self.at(start)
@@ -99,9 +104,17 @@ class StepSeries:
         lo = bisect.bisect_right(self._times, start)
         hi = bisect.bisect_left(self._times, end)
         for i in range(lo, hi):
-            yield self._times[i] - t, value
+            yield t, self._times[i], value
             t, value = self._times[i], self._values[i]
-        yield end - t, value
+        yield t, end, value
+
+    # -- time-weighted statistics over [start, end) ---------------------------
+
+    def _segments(self, start: float,
+                  end: float) -> Iterator[tuple[float, float]]:
+        """Yield ``(duration, value)`` for each constant segment in range."""
+        for seg_start, seg_end, value in self.segments(start, end):
+            yield seg_end - seg_start, value
 
     def integral(self, start: float, end: float) -> float:
         """∫ signal dt over ``[start, end)`` (e.g. energy from power)."""

@@ -89,7 +89,7 @@ def test_requests_to_csv(tmp_path, result):
 def test_registry_covers_design_index():
     expected = {"FIG1", "FIG2A", "FIG2B", "FIG2C", "HEADLINE",
                 "ABL-CP-PERIOD", "ABL-LOSS", "ABL-SCALE", "ABL-SLOTS",
-                "ABL-VARIANTS", "ABL-ST-VS-AT", "ABL-SPOF"}
+                "ABL-VARIANTS", "ABL-ST-VS-AT", "ABL-SPOF", "NBHD-COORD"}
     assert set(REGISTRY) == expected
 
 

@@ -175,3 +175,32 @@ def test_counter():
     assert counter.value == 6
     with pytest.raises(ValueError):
         counter.increment(-1)
+
+
+def test_segments_partition_the_window():
+    series = StepSeries("s")
+    series.record(10.0, 1.0)
+    series.record(20.0, 3.0)
+    series.record(40.0, 0.0)
+    assert list(series.segments(0.0, 50.0)) == [
+        (0.0, 10.0, 0.0),   # zero before the first record
+        (10.0, 20.0, 1.0),
+        (20.0, 40.0, 3.0),
+        (40.0, 50.0, 0.0),
+    ]
+    # mid-segment window boundaries clip, contiguity holds
+    segs = list(series.segments(15.0, 35.0))
+    assert segs == [(15.0, 20.0, 1.0), (20.0, 35.0, 3.0)]
+    for (_, end_a, _), (start_b, _, _) in zip(segs, segs[1:]):
+        assert end_a == start_b
+    # empty window yields nothing
+    assert list(series.segments(5.0, 5.0)) == []
+
+
+def test_segments_agree_with_statistics():
+    series = StepSeries("s")
+    for t, v in [(0.0, 2.0), (7.0, 5.0), (13.0, 1.0), (21.0, 4.0)]:
+        series.record(t, v)
+    total = sum((end - start) * value
+                for start, end, value in series.segments(3.0, 25.0))
+    assert total == pytest.approx(series.integral(3.0, 25.0))

@@ -1,0 +1,317 @@
+#!/usr/bin/env python3
+"""Executable-documentation checks (the CI docs job).
+
+Documentation in this repository is held to the same bar as code: every
+command and snippet it shows must actually run.  This tool fails CI when
+docs drift:
+
+1. **Cross-links** — every relative Markdown link in ``README.md`` and
+   ``docs/*.md`` resolves to an existing file, and ``#anchors`` resolve
+   to a heading in the target page.
+2. **API reference** — every public class/function (and public method)
+   of the modules the docs reference carries a docstring, so the pages
+   never point at undocumented API.
+3. **Doctested snippets** — every ````bash```` command in ``README.md``
+   and ``docs/*.md`` exits 0, and every ````python```` block executes
+   cleanly (run from the repo root with ``PYTHONPATH`` resolved; files a
+   snippet creates at top level are cleaned up afterwards).
+4. **Examples** — every ``examples/*.py`` script smoke-executes
+   (``--quick``).
+
+Usage::
+
+    python tools/check_docs.py [--skip-slow] [--list]
+
+``--skip-slow`` skips commands that re-run whole test suites (anything
+invoking pytest) for fast local iteration; CI runs everything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = [REPO_ROOT / "README.md",
+             *sorted((REPO_ROOT / "docs").glob("*.md"))]
+
+#: Modules whose public API the docs reference; all of it must be
+#: documented (docs/architecture.md, docs/coordination.md).
+API_MODULES = [
+    "repro.core.coordinator",
+    "repro.experiments.runner",
+    "repro.neighborhood.aggregate",
+    "repro.neighborhood.coordination",
+    "repro.neighborhood.federation",
+    "repro.neighborhood.fleet",
+]
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+
+failures: list[str] = []
+
+
+def fail(message: str) -> None:
+    failures.append(message)
+    print(f"FAIL: {message}")
+
+
+def ok(message: str) -> None:
+    print(f"  ok: {message}")
+
+
+# ---------------------------------------------------------------------------
+# 1. cross-links
+# ---------------------------------------------------------------------------
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading → anchor slug (lowercase, dashes, strip punct)."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_~]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    anchors = set()
+    for line in path.read_text().splitlines():
+        match = HEADING_RE.match(line)
+        if match:
+            anchors.add(github_anchor(match.group(1)))
+    return anchors
+
+
+def check_links() -> None:
+    print("== cross-links ==")
+    for doc in DOC_FILES:
+        text = doc.read_text()
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            base, _, anchor = target.partition("#")
+            resolved = (doc.parent / base).resolve() if base else doc
+            if not resolved.exists():
+                fail(f"{doc.relative_to(REPO_ROOT)}: broken link "
+                     f"-> {target}")
+                continue
+            if anchor and resolved.suffix == ".md" \
+                    and anchor not in anchors_of(resolved):
+                fail(f"{doc.relative_to(REPO_ROOT)}: broken anchor "
+                     f"-> {target}")
+                continue
+            ok(f"{doc.relative_to(REPO_ROOT)} -> {target}")
+
+
+# ---------------------------------------------------------------------------
+# 2. API docstrings
+# ---------------------------------------------------------------------------
+
+def _inherited_doc(cls: type, name: str) -> bool:
+    for base in cls.__mro__[1:]:
+        attr = base.__dict__.get(name)
+        if attr is not None and getattr(attr, "__doc__", None):
+            return True
+    return False
+
+
+def check_api_docstrings() -> None:
+    print("== API docstrings ==")
+    import importlib
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    for module_name in API_MODULES:
+        module = importlib.import_module(module_name)
+        if not module.__doc__:
+            fail(f"{module_name}: missing module docstring")
+        missing: list[str] = []
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if getattr(obj, "__module__", None) != module_name:
+                continue  # re-export; documented at its home
+            if isinstance(obj, type):
+                if not obj.__doc__:
+                    missing.append(name)
+                for attr_name, attr in vars(obj).items():
+                    if attr_name.startswith("_"):
+                        continue
+                    if isinstance(attr, property):
+                        documented = bool(attr.__doc__)
+                    elif callable(attr) or isinstance(
+                            attr, (staticmethod, classmethod)):
+                        documented = bool(getattr(attr, "__doc__", None))
+                    else:
+                        continue
+                    if not documented and not _inherited_doc(obj, attr_name):
+                        missing.append(f"{name}.{attr_name}")
+            elif callable(obj) and not obj.__doc__:
+                missing.append(name)
+        if missing:
+            fail(f"{module_name}: undocumented public API: "
+                 f"{', '.join(sorted(missing))}")
+        else:
+            ok(f"{module_name}: all public API documented")
+
+
+# ---------------------------------------------------------------------------
+# 3. fenced snippets
+# ---------------------------------------------------------------------------
+
+def fenced_blocks(path: Path) -> list[tuple[str, str]]:
+    """``(language, body)`` for every fenced code block in ``path``."""
+    blocks = []
+    language = None
+    body: list[str] = []
+    for line in path.read_text().splitlines():
+        match = FENCE_RE.match(line)
+        if match and language is None:
+            language = match.group(1) or "text"
+            body = []
+        elif line.strip() == "```" and language is not None:
+            blocks.append((language, "\n".join(body)))
+            language = None
+        elif language is not None:
+            body.append(line)
+    return blocks
+
+
+def bash_commands(body: str) -> list[str]:
+    """Commands of a bash block: comments stripped, continuations joined."""
+    commands: list[str] = []
+    pending = ""
+    for raw in body.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        line = re.sub(r"\s+#.*$", "", line)  # trailing comment
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        commands.append((pending + line).strip())
+        pending = ""
+    if pending:
+        commands.append(pending.strip())
+    return commands
+
+
+def snippet_env() -> dict[str, str]:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
+    return env
+
+
+def run_command(command: str, skip_slow: bool) -> None:
+    if skip_slow and "pytest" in command:
+        print(f"  skip (slow): {command}")
+        return
+    # The docs write `PYTHONPATH=src ...` for copy-paste use; the env
+    # already carries the resolved path, so drop the textual prefix.
+    executable = re.sub(r"^PYTHONPATH=\S+\s+", "", command)
+    before = set(REPO_ROOT.iterdir())
+    result = subprocess.run(["bash", "-c", executable], cwd=REPO_ROOT,
+                            env=snippet_env(), capture_output=True,
+                            text=True)
+    for leftover in set(REPO_ROOT.iterdir()) - before:
+        if leftover.is_file():
+            leftover.unlink()  # snippet artifacts (exports etc.)
+    if result.returncode != 0:
+        tail = (result.stderr or result.stdout).strip().splitlines()[-8:]
+        fail(f"command exited {result.returncode}: {command}\n      "
+             + "\n      ".join(tail))
+    else:
+        ok(command)
+
+
+def run_python_block(source: str, origin: str) -> None:
+    before = set(REPO_ROOT.iterdir())
+    result = subprocess.run([sys.executable, "-"], input=source,
+                            cwd=REPO_ROOT, env=snippet_env(),
+                            capture_output=True, text=True)
+    for leftover in set(REPO_ROOT.iterdir()) - before:
+        if leftover.is_file():
+            leftover.unlink()
+    if result.returncode != 0:
+        tail = result.stderr.strip().splitlines()[-8:]
+        fail(f"python block in {origin} failed:\n      "
+             + "\n      ".join(tail))
+    else:
+        first = source.strip().splitlines()[0]
+        ok(f"python block in {origin} ({first} ...)")
+
+
+def check_snippets(skip_slow: bool, list_only: bool) -> None:
+    """Execute every snippet once — identical commands/blocks shown in
+    several pages are deduplicated (the heavy neighborhood runs appear in
+    README and docs alike; one passing execution covers them all)."""
+    print("== doc snippets ==")
+    seen: set[str] = set()
+    for doc in DOC_FILES:
+        origin = str(doc.relative_to(REPO_ROOT))
+        for language, body in fenced_blocks(doc):
+            if language == "bash":
+                for command in bash_commands(body):
+                    if command in seen:
+                        print(f"  dup (already ran): {command}")
+                        continue
+                    seen.add(command)
+                    if list_only:
+                        print(f"  would run: {command}")
+                    else:
+                        run_command(command, skip_slow)
+            elif language == "python":
+                key = "\n".join(line.strip()
+                                for line in body.strip().splitlines())
+                if key in seen:
+                    print(f"  dup (already ran): python block in {origin}")
+                    continue
+                seen.add(key)
+                if list_only:
+                    first = body.strip().splitlines()[0]
+                    print(f"  would exec python block ({first} ...)")
+                else:
+                    run_python_block(body, origin)
+
+
+# ---------------------------------------------------------------------------
+# 4. examples
+# ---------------------------------------------------------------------------
+
+def check_examples(list_only: bool) -> None:
+    print("== examples ==")
+    for script in sorted((REPO_ROOT / "examples").glob("*.py")):
+        command = f"python {script.relative_to(REPO_ROOT)} --quick"
+        if list_only:
+            print(f"  would run: {command}")
+        else:
+            run_command(command, skip_slow=False)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--skip-slow", action="store_true",
+                        help="skip pytest-invoking doc commands")
+    parser.add_argument("--list", action="store_true",
+                        help="list the snippets without running them")
+    args = parser.parse_args(argv)
+    check_links()
+    check_api_docstrings()
+    check_snippets(args.skip_slow, args.list)
+    check_examples(args.list)
+    if failures:
+        print(f"\n{len(failures)} doc check(s) failed")
+        return 1
+    print("\nall doc checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
