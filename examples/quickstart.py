@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
 """Quickstart: reproduce the paper's headline comparison in ~20 lines.
 
-Runs the paper's evaluation scenario (26 x 1 kW Type-2 devices, Poisson
-requests at 30/hour, minDCD 15 min, maxDCP 30 min, 350 minutes) once with
-the collaborative scheduler and once without, then prints the Figure-2
-style summary.
+Describes the paper's evaluation scenario (26 x 1 kW Type-2 devices,
+Poisson requests at 30/hour, minDCD 15 min, maxDCP 30 min, 350 minutes)
+as one declarative spec per policy, runs both through the unified
+``repro.api.run`` front door and prints the Figure-2 style summary plus
+the provenance hash that stamps every exported artefact.
 
 Usage::
 
@@ -13,25 +14,26 @@ Usage::
 
 import sys
 
-from repro import HanConfig, run_experiment
+from repro.api import ControlSpec, ExperimentSpec, run
 from repro.analysis import format_table, percent_reduction, sparkline
 from repro.sim.units import MINUTE
-from repro.workloads import paper_scenario
 
 
 def main() -> None:
     quick = "--quick" in sys.argv
     horizon = 120 * MINUTE if quick else None  # None = full 350 min
-    scenario = paper_scenario("high")
 
     results = {}
     for policy in ("uncoordinated", "coordinated"):
-        config = HanConfig(scenario=scenario, policy=policy,
-                           cp_fidelity="round", seed=1)
-        results[policy] = run_experiment(config, until=horizon)
+        spec = ExperimentSpec(
+            name=f"quickstart-{policy}",
+            control=ControlSpec(policy=policy, cp_fidelity="round"),
+            seeds=(1,), until_s=horizon)
+        results[policy] = run(spec)
 
+    scenario = results["coordinated"].runs[0].config.scenario
     end = horizon if horizon else scenario.horizon
-    stats = {policy: result.stats(end=end)
+    stats = {policy: result.stats()[0]
              for policy, result in results.items()}
 
     rows = [[policy, s.peak_kw, s.mean_kw, s.std_kw, s.max_step_kw,
@@ -43,7 +45,7 @@ def main() -> None:
 
     print()
     for policy, result in results.items():
-        _t, values = result.load_w.sample_grid(0.0, end, MINUTE)
+        _t, values = result.runs[0].load_w.sample_grid(0.0, end, MINUTE)
         print(f"{policy:>14}: {sparkline(list(values))}")
 
     peak_cut = percent_reduction(stats["uncoordinated"].peak_kw,
@@ -53,6 +55,9 @@ def main() -> None:
     print(f"\npeak load reduced by {peak_cut:.1f}% "
           f"(paper: up to 50%), load variation reduced by {std_cut:.1f}% "
           f"(paper: up to 58%)")
+    print("spec hashes:",
+          ", ".join(f"{p} {r.provenance.short_hash}"
+                    for p, r in results.items()))
 
 
 if __name__ == "__main__":

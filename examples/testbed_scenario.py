@@ -19,7 +19,7 @@ Usage::
 import sys
 
 from repro.analysis import format_table, percent_reduction
-from repro.core import HanConfig, run_experiment
+from repro.core import HanConfig, execute_config
 from repro.experiments import st_vs_at, trace_cp
 from repro.sim.units import MINUTE
 from repro.workloads import paper_scenario
@@ -44,7 +44,7 @@ def main() -> None:
     rows = []
     stats = {}
     for policy in ("uncoordinated", "coordinated"):
-        result = run_experiment(
+        result = execute_config(
             HanConfig(scenario=scenario, policy=policy,
                       cp_fidelity="round", seed=1), until=horizon)
         end = horizon if horizon else scenario.horizon

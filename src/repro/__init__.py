@@ -6,14 +6,18 @@ state over Synchronous-Transmission rounds (MiniCast) and collaboratively
 stagger the duty cycles of power-hungry Type-2 appliances, cutting peak
 load and load variance without deferring energy.
 
-Quickstart::
+Quickstart (the declarative front door — see ``docs/experiment-spec.md``)::
 
-    from repro import HanConfig, run_experiment
-    from repro.workloads import paper_scenario
+    from repro.api import ExperimentSpec, run
 
-    result = run_experiment(HanConfig(scenario=paper_scenario("high"),
-                                      policy="coordinated", seed=1))
-    print(result.stats().peak_kw)
+    spec = ExperimentSpec.from_json('''{
+        "name": "quickstart",
+        "scenario": {"preset": "paper-high"},
+        "control": {"policy": "coordinated"},
+        "seeds": [1]
+    }''')
+    result = run(spec)
+    print(result.stats()[0].peak_kw, result.provenance.short_hash)
 """
 
 from repro.core import (

@@ -37,22 +37,47 @@ def series_to_csv(series: StepSeries, path: str | Path,
 def multi_series_to_csv(series_map: dict[str, StepSeries],
                         path: str | Path, start: float, end: float,
                         step: float, time_scale: float = 60.0,
-                        value_scale: float = 1e-3) -> Path:
-    """Several series on one grid, one column each (Figure 2(a) format)."""
+                        value_scale: float = 1e-3,
+                        constants: Optional[dict[str, str]] = None) -> Path:
+    """Several series on one grid, one column each (Figure 2(a) format).
+
+    ``constants`` appends fixed-value trailing columns (e.g. the
+    ``spec_hash`` provenance column) — same value on every row, so the
+    file stays self-describing after being split or concatenated.
+    """
     path = Path(path)
     names = list(series_map)
     sampled = {name: series_map[name].sample_grid(start, end, step)[1]
                for name in names}
+    constants = constants or {}
     import numpy as np
     grid = np.arange(start, end, step)
     with path.open("w", newline="") as handle:
         writer = csv.writer(handle)
-        writer.writerow(["time_min", *names])
+        writer.writerow(["time_min", *names, *constants])
         for i, t in enumerate(grid):
             writer.writerow([f"{t / time_scale:.4f}",
                              *(f"{sampled[n][i] * value_scale:.6f}"
-                               for n in names)])
+                               for n in names),
+                             *constants.values()])
     return path
+
+
+def spec_block(spec) -> dict:
+    """The provenance block exporters embed: hash + regenerable JSON.
+
+    ``canonical`` is the spec's canonical dict — feed it back through
+    ``ExperimentSpec.from_dict`` (or save it and ``repro run --spec``)
+    to regenerate the artefact this file records.
+    """
+    import repro
+    from repro.api.spec import canonical_json, spec_hash
+    return {
+        "hash": spec_hash(spec),
+        "schema_version": spec.schema_version,
+        "code_version": repro.__version__,
+        "canonical": json.loads(canonical_json(spec)),
+    }
 
 
 def stats_to_dict(stats: LoadStats) -> dict:
@@ -70,15 +95,23 @@ def stats_to_dict(stats: LoadStats) -> dict:
 
 
 def run_result_to_json(result, path: str | Path,
-                       sample_step: Optional[float] = 60.0) -> Path:
+                       sample_step: Optional[float] = 60.0,
+                       spec=None) -> Path:
     """Persist one :class:`~repro.core.system.RunResult` as JSON.
 
-    Includes the config, load statistics, an optional sampled load trace
-    and the per-request lifecycle log.
+    Includes the config, load statistics, an optional sampled load trace,
+    the per-request lifecycle log and a ``spec`` provenance block (hash +
+    canonical spec JSON) so the file can regenerate itself.  ``spec`` is
+    the originating :class:`~repro.api.spec.ExperimentSpec`; when omitted
+    it is derived losslessly from the run's config.
     """
     path = Path(path)
+    if spec is None:
+        from repro.api.spec import spec_from_config
+        spec = spec_from_config(result.config, until=result.horizon)
     scenario = result.config.scenario
     payload = {
+        "spec": spec_block(spec),
         "config": {
             "scenario": scenario.name,
             "n_devices": scenario.n_devices,
@@ -124,28 +157,33 @@ def run_result_to_json(result, path: str | Path,
 
 
 def neighborhood_to_json(neighborhood, path: str | Path,
-                         sample_step: Optional[float] = 60.0) -> Path:
+                         sample_step: Optional[float] = 60.0,
+                         spec=None) -> Path:
     """Persist a :class:`~repro.neighborhood.federation.NeighborhoodResult`.
 
     One record per home (composition + load statistics) plus the
     feeder-level aggregate: coincident peak, diversity factor and the
-    neighborhood load-variation columns.
+    neighborhood load-variation columns.  When the run came through the
+    spec API (or ``spec`` is passed explicitly) a ``spec`` provenance
+    block rides along, so the file can regenerate itself.
     """
     path = Path(path)
+    if spec is None:
+        spec = getattr(neighborhood, "spec", None)
     home_stats = neighborhood.home_stats()
     feeder = neighborhood.feeder_stats(home_stats=home_stats)
     homes = []
-    for spec, stats in zip(neighborhood.fleet.homes, home_stats):
-        scenario = spec.scenario
+    for home_spec, stats in zip(neighborhood.fleet.homes, home_stats):
+        scenario = home_spec.scenario
         homes.append({
             "name": scenario.name,
-            "archetype": spec.archetype,
+            "archetype": home_spec.archetype,
             "n_devices": scenario.n_devices,
             "device_power_w": scenario.device_power_w,
             "arrival_rate_per_hour": scenario.arrival_rate_per_hour,
             "arrival_kind": scenario.arrival_kind,
-            "policy": spec.policy,
-            "seed": spec.seed,
+            "policy": home_spec.policy,
+            "seed": home_spec.seed,
             "stats": stats_to_dict(stats),
         })
     payload = {
@@ -166,6 +204,8 @@ def neighborhood_to_json(neighborhood, path: str | Path,
             "load_variation_kw": feeder.load_variation_kw,
         },
     }
+    if spec is not None:
+        payload["spec"] = spec_block(spec)
     if neighborhood.coordination is not None:
         plan = neighborhood.coordination
         comparison = neighborhood.comparison()
@@ -195,20 +235,29 @@ def neighborhood_to_json(neighborhood, path: str | Path,
 
 
 def neighborhood_to_csv(neighborhood, path: str | Path,
-                        step: float = 60.0) -> Path:
+                        step: float = 60.0, spec=None) -> Path:
     """Feeder plus one column per home, sampled on a regular grid.
 
     Home columns are the homes' *feeder contributions*
     (:attr:`~repro.neighborhood.federation.NeighborhoodResult.contributions_w`
     — phase-rotated under feeder coordination), so the feeder column is
-    always exactly their sum.
+    always exactly their sum.  A trailing ``spec_hash`` column carries
+    the same provenance hash the JSON export embeds, when the run came
+    through the spec API.
     """
+    if spec is None:
+        spec = getattr(neighborhood, "spec", None)
     series_map = {"feeder": neighborhood.feeder_w}
-    for spec, series in zip(neighborhood.fleet.homes,
-                            neighborhood.contributions_w):
-        series_map[spec.scenario.name] = series
+    for home_spec, series in zip(neighborhood.fleet.homes,
+                                 neighborhood.contributions_w):
+        series_map[home_spec.scenario.name] = series
+    constants = None
+    if spec is not None:
+        from repro.api.spec import spec_hash
+        constants = {"spec_hash": spec_hash(spec)}
     return multi_series_to_csv(series_map, path, 0.0,
-                               neighborhood.horizon, step)
+                               neighborhood.horizon, step,
+                               constants=constants)
 
 
 def requests_to_csv(result, path: str | Path) -> Path:

@@ -1,0 +1,88 @@
+"""One front door for every experiment: declarative, serializable specs.
+
+The four historical entry points — ``run_experiment`` on a
+:class:`~repro.core.system.HanConfig`, the ``compare_policies`` /
+``sweep_rates`` grids, the experiment ``REGISTRY`` and
+``run_neighborhood`` over a fleet — are one pipeline wearing four
+argument conventions.  This package folds them into a single declarative
+API:
+
+* :class:`~repro.api.spec.ExperimentSpec` — the experiment as *data*,
+  JSON round-trippable (``spec.to_json()`` /
+  ``ExperimentSpec.from_json()``) with schema-versioned validation and
+  readable error paths (:mod:`repro.api.validate`);
+* :mod:`repro.api.compile` — specs compile to today's
+  ``HanConfig`` / ``RunSpec`` / fleet objects;
+* :func:`~repro.api.run.run` — one call executes any spec over N
+  workers and returns a uniform :class:`~repro.api.run.Result` with
+  provenance (spec hash, seeds, code version).
+
+Quickstart::
+
+    from repro.api import ExperimentSpec, run
+
+    spec = ExperimentSpec.from_json('''{
+        "name": "demo", "kind": "single",
+        "scenario": {"preset": "paper-high"},
+        "control": {"policy": "coordinated", "cp_fidelity": "round"},
+        "seeds": [1]
+    }''')
+    result = run(spec, jobs=1)
+    print(result.stats()[0].peak_kw, result.provenance.short_hash)
+
+See ``docs/experiment-spec.md`` for the full schema and the migration
+table from the legacy call sites (which live on as deprecation shims).
+"""
+
+from repro.api.compile import (
+    ARTEFACTS,
+    compile_config,
+    compile_fleet,
+    compile_run_specs,
+    compile_scenario,
+    resolve_artefact,
+)
+from repro.api.run import Provenance, Result, provenance_of, run
+from repro.api.spec import (
+    KINDS,
+    SCHEMA_VERSION,
+    ArtefactSpec,
+    ControlSpec,
+    ExperimentSpec,
+    FleetPlan,
+    ScenarioSpec,
+    SweepSpec,
+    canonical_json,
+    spec_from_config,
+    spec_from_scenario,
+    spec_hash,
+)
+from repro.api.validate import SpecError, validate, validate_data
+
+__all__ = [
+    "ARTEFACTS",
+    "ArtefactSpec",
+    "ControlSpec",
+    "ExperimentSpec",
+    "FleetPlan",
+    "KINDS",
+    "Provenance",
+    "Result",
+    "SCHEMA_VERSION",
+    "ScenarioSpec",
+    "SpecError",
+    "SweepSpec",
+    "canonical_json",
+    "compile_config",
+    "compile_fleet",
+    "compile_run_specs",
+    "compile_scenario",
+    "provenance_of",
+    "resolve_artefact",
+    "run",
+    "spec_from_config",
+    "spec_from_scenario",
+    "spec_hash",
+    "validate",
+    "validate_data",
+]

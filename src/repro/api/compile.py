@@ -1,0 +1,182 @@
+"""Compiling declarative specs down to the concrete run objects.
+
+The spec layer never executes anything; this module is the bridge from
+:class:`~repro.api.spec.ExperimentSpec` to the objects the existing
+engine runs:
+
+* :func:`compile_scenario` — ``ScenarioSpec`` → ``Scenario``;
+* :func:`compile_config` — a spec + seed → ``HanConfig``;
+* :func:`compile_run_specs` — a single/sweep spec → the flat, ordered
+  :class:`~repro.experiments.runner.RunSpec` batch the
+  :class:`~repro.experiments.runner.ParallelRunner` consumes directly;
+* :func:`compile_fleet` — a neighborhood spec →
+  :class:`~repro.neighborhood.fleet.FleetSpec`;
+* :data:`ARTEFACTS` / :func:`resolve_artefact` — registry artefact
+  kinds → their generator callables (resolved lazily so the spec layer
+  stays import-light and cycle-free).
+
+Grid order is load-bearing: sweep cells flatten as (rate, policy, seed)
+with the exact run names the legacy ``sweep_rates``/``compare_policies``
+used, so results stay bit-identical through the deprecation shims.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import replace
+from typing import Callable, Optional
+
+from repro.api.spec import ExperimentSpec, ScenarioSpec
+from repro.core.system import HanConfig
+from repro.workloads.scenarios import SCENARIO_PRESETS, Scenario
+
+#: Registry artefact kind → (module, callable) generating it.  Resolved
+#: lazily by :func:`resolve_artefact`; every callable returns an object
+#: with a rendered ``text`` (FigureData / CpTraceResult).
+ARTEFACTS: dict[str, tuple[str, str]] = {
+    "fig2a": ("repro.experiments.figures", "fig2a"),
+    "fig2b": ("repro.experiments.figures", "fig2b"),
+    "fig2c": ("repro.experiments.figures", "fig2c"),
+    "headline": ("repro.experiments.figures", "headline_numbers"),
+    "cp-trace": ("repro.experiments.cp_trace", "trace_cp"),
+    "abl-cp-period": ("repro.experiments.ablations", "cp_period_sweep"),
+    "abl-loss": ("repro.experiments.ablations", "loss_sweep"),
+    "abl-scale": ("repro.experiments.ablations", "scale_sweep"),
+    "abl-slots": ("repro.experiments.ablations", "slots_sweep"),
+    "abl-variants": ("repro.experiments.ablations", "scheduler_variants"),
+    "nbhd-coord": ("repro.experiments.ablations",
+                   "neighborhood_coordination"),
+    "abl-st-vs-at": ("repro.experiments.ablations", "st_vs_at"),
+    "abl-spof": ("repro.experiments.ablations", "spof_comparison"),
+}
+
+#: ScenarioSpec field → Scenario field (identical units).
+_SCENARIO_FIELD_MAP = {
+    "name": "name",
+    "n_devices": "n_devices",
+    "device_power_w": "device_power_w",
+    "min_dcd_s": "min_dcd",
+    "max_dcp_s": "max_dcp",
+    "rate_per_hour": "arrival_rate_per_hour",
+    "horizon_s": "horizon",
+    "demand_cycles": "demand_cycles",
+    "arrival": "arrival_kind",
+    "batch_size": "batch_size",
+    "notes": "notes",
+}
+
+
+def resolve_artefact(kind: str) -> Callable[..., object]:
+    """Import and return the generator callable behind an artefact kind."""
+    try:
+        module_name, func_name = ARTEFACTS[kind]
+    except KeyError:
+        known = ", ".join(sorted(ARTEFACTS))
+        raise KeyError(f"unknown artefact kind {kind!r}; one of: {known}")
+    return getattr(importlib.import_module(module_name), func_name)
+
+
+def compile_scenario(spec: ScenarioSpec) -> Scenario:
+    """Materialize a ScenarioSpec: preset (or defaults) plus overrides."""
+    if spec.preset is not None:
+        base = SCENARIO_PRESETS[spec.preset]()
+    else:
+        base = Scenario(name=spec.name if spec.name is not None
+                        else "custom")
+    overrides = {}
+    for spec_field, scenario_field in _SCENARIO_FIELD_MAP.items():
+        value = getattr(spec, spec_field)
+        if value is not None:
+            overrides[scenario_field] = value
+    return replace(base, **overrides) if overrides else base
+
+
+def compile_config(spec: ExperimentSpec, seed: int,
+                   scenario: Optional[Scenario] = None,
+                   policy: Optional[str] = None) -> HanConfig:
+    """The HanConfig reproducing one cell of ``spec`` exactly.
+
+    ``scenario``/``policy`` override the spec's own (used by the sweep
+    compiler, which re-rates the scenario and varies the policy per
+    cell).  Exact inverse of :func:`repro.api.spec.spec_from_config`.
+    """
+    control = spec.control
+    return HanConfig(
+        scenario=scenario if scenario is not None
+        else compile_scenario(spec.scenario),
+        policy=policy if policy is not None else control.policy,
+        cp_fidelity=control.cp_fidelity,
+        cp_period=control.cp_period,
+        seed=seed,
+        topology_name=control.topology,
+        refresh_every=control.refresh_every,
+        calibration_rounds=control.calibration_rounds,
+        shadowing_sigma_db=control.shadowing_sigma_db,
+        path_loss_exponent=control.path_loss_exponent,
+        ci_derating=control.ci_derating,
+        aggregation=control.aggregation,
+        controller_id=control.controller_id)
+
+
+def compile_run_specs(spec: ExperimentSpec) -> list:
+    """Flatten a single/sweep spec into its ordered RunSpec batch.
+
+    Single: one run per seed.  Sweep: the full (rate, policy, seed) grid
+    in that nesting order — run names match the legacy grid builders so
+    worker-failure messages and result ordering are unchanged.
+    """
+    from repro.experiments.runner import RunSpec
+    if spec.kind == "single":
+        scenario = compile_scenario(spec.scenario)
+        return [RunSpec(
+            name=f"{scenario.name}/{spec.control.policy}/seed{seed}",
+            config=compile_config(spec, seed, scenario=scenario),
+            until=spec.until_s)
+            for seed in spec.seeds]
+    if spec.kind != "sweep":
+        raise ValueError(
+            f"cannot compile kind {spec.kind!r} to run specs")
+    base = compile_scenario(spec.scenario)
+    sweep = spec.sweep
+    run_specs = []
+    scenarios = [base.with_rate(rate) for rate in sweep.rates] \
+        if sweep.rates else [base]
+    for scenario in scenarios:
+        for policy in sweep.policies:
+            for seed in spec.seeds:
+                run_specs.append(RunSpec(
+                    name=f"{scenario.name}/{policy}/seed{seed}",
+                    config=compile_config(spec, seed, scenario=scenario,
+                                          policy=policy),
+                    until=spec.until_s))
+    return run_specs
+
+
+def compile_fleet(spec: ExperimentSpec, builder=None):
+    """Build the deterministic FleetSpec of a neighborhood spec.
+
+    The fleet seed is ``spec.seeds[0]``; per-home simulation seeds
+    derive from it via
+    :func:`~repro.neighborhood.fleet.home_seed`.  Of the scenario
+    section only ``horizon_s`` applies — homes draw their workloads
+    from the mix's archetypes, and the validator rejects any other
+    scenario override on a neighborhood spec; policy and CP fidelity
+    come from the control section.
+
+    ``builder`` swaps the fleet constructor (default
+    :func:`~repro.neighborhood.fleet.build_fleet`) while keeping this
+    one spec→arguments lowering; the CLI passes its own reference so
+    the compiled fleet and the provenance spec can never diverge.
+    """
+    if spec.fleet is None:
+        raise ValueError(f"spec {spec.name!r} has no fleet section")
+    if builder is None:
+        from repro.neighborhood.fleet import build_fleet
+        builder = build_fleet
+    plan = spec.fleet
+    return builder(plan.homes, mix=plan.mix, seed=spec.seeds[0],
+                   policy=spec.control.policy,
+                   cp_fidelity=spec.control.cp_fidelity,
+                   horizon=spec.scenario.horizon_s,
+                   rate_jitter=plan.rate_jitter,
+                   size_jitter=plan.size_jitter)

@@ -1,0 +1,381 @@
+"""Schema-versioned validation of experiment specs with readable paths.
+
+Every rejection is a :class:`SpecError` whose message leads with the
+dotted path of the offending field — ``fleet.mix: unknown preset
+'famly' (did you mean 'family'?); one of: apartments, mixed, suburb`` —
+so a bad JSON document is fixable without reading this source.
+
+Validation runs on the *raw dict* (:func:`validate_data`, called by
+:meth:`repro.api.spec.ExperimentSpec.from_dict` before any dataclass is
+built) and again structurally on constructed specs (:func:`validate`,
+called by :func:`repro.api.run.run` so hand-built trees get the same
+checks as loaded JSON).
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.api.spec import KINDS, SCHEMA_VERSION
+
+
+class SpecError(ValueError):
+    """A spec failed validation; ``path`` points at the offending field."""
+
+    def __init__(self, path: str, message: str):
+        self.path = path
+        self.message = message
+        super().__init__(f"{path}: {message}" if path else message)
+
+
+def _suggest(value: str, known: Sequence[str]) -> str:
+    """`` (did you mean 'x'?)`` when a close match exists, else ``''``."""
+    matches = difflib.get_close_matches(value, list(known), n=1)
+    return f" (did you mean {matches[0]!r}?)" if matches else ""
+
+
+def _unknown(value: str, what: str, known: Sequence[str]) -> str:
+    choices = ", ".join(sorted(str(item) for item in known))
+    return (f"unknown {what} {value!r}{_suggest(value, known)}; "
+            f"one of: {choices}")
+
+
+def _check_keys(data: Mapping[str, Any], allowed: Sequence[str],
+                path: str) -> None:
+    for key in data:
+        if key not in allowed:
+            prefix = f"{path}.{key}" if path else str(key)
+            raise SpecError(prefix,
+                            f"unknown field{_suggest(str(key), allowed)}")
+
+
+def _number(value, path: str, minimum: Optional[float] = None,
+            allow_none: bool = False, integer: bool = False) -> None:
+    import math
+    if value is None:
+        if allow_none:
+            return
+        raise SpecError(path, "must not be null")
+    if isinstance(value, bool) or not isinstance(
+            value, int if integer else (int, float)):
+        kind = "an integer" if integer else "a number"
+        raise SpecError(path, f"must be {kind}, got {value!r}")
+    if not math.isfinite(value):
+        # NaN/Infinity would defeat the minimum check below AND are not
+        # representable in strict JSON, so the canonical form (and every
+        # provenance block hashed from it) would stop being parseable.
+        raise SpecError(path, f"must be finite, got {value!r}")
+    if minimum is not None and value < minimum:
+        raise SpecError(path, f"must be >= {minimum:g}, got {value!r}")
+
+
+def _string(value, path: str, allow_none: bool = False) -> None:
+    if value is None and allow_none:
+        return
+    if not isinstance(value, str):
+        raise SpecError(path, f"must be a string, got {value!r}")
+
+
+def _choice(value, path: str, what: str, known: Sequence[str]) -> None:
+    _string(value, path)
+    if value not in known:
+        raise SpecError(path, _unknown(value, what, known))
+
+
+def _section(data, path: str) -> Mapping[str, Any]:
+    if not isinstance(data, Mapping):
+        raise SpecError(path, f"must be an object, got {data!r}")
+    return data
+
+
+def _validate_scenario(data: Mapping[str, Any]) -> None:
+    from repro.workloads.scenarios import ARRIVAL_KINDS, SCENARIO_PRESETS
+    allowed = ("preset", "name", "n_devices", "device_power_w", "min_dcd_s",
+               "max_dcp_s", "rate_per_hour", "horizon_s", "demand_cycles",
+               "arrival", "batch_size", "notes")
+    _check_keys(data, allowed, "scenario")
+    preset = data.get("preset", "paper-high")
+    if preset is not None:
+        _string(preset, "scenario.preset")
+        if preset not in SCENARIO_PRESETS:
+            raise SpecError("scenario.preset",
+                            _unknown(preset, "preset", SCENARIO_PRESETS))
+    _string(data.get("name"), "scenario.name", allow_none=True)
+    _string(data.get("notes"), "scenario.notes", allow_none=True)
+    _number(data.get("n_devices"), "scenario.n_devices", minimum=1,
+            allow_none=True, integer=True)
+    _number(data.get("device_power_w"), "scenario.device_power_w",
+            minimum=0.0, allow_none=True)
+    _number(data.get("min_dcd_s"), "scenario.min_dcd_s", minimum=0.0,
+            allow_none=True)
+    _number(data.get("max_dcp_s"), "scenario.max_dcp_s", minimum=0.0,
+            allow_none=True)
+    _number(data.get("rate_per_hour"), "scenario.rate_per_hour",
+            minimum=0.0, allow_none=True)
+    _number(data.get("horizon_s"), "scenario.horizon_s", minimum=0.0,
+            allow_none=True)
+    _number(data.get("demand_cycles"), "scenario.demand_cycles", minimum=1,
+            allow_none=True, integer=True)
+    _number(data.get("batch_size"), "scenario.batch_size", minimum=1,
+            allow_none=True, integer=True)
+    arrival = data.get("arrival")
+    if arrival is not None:
+        _choice(arrival, "scenario.arrival", "arrival kind", ARRIVAL_KINDS)
+
+
+def _validate_control(data: Mapping[str, Any]) -> None:
+    from repro.core.system import FIDELITIES, POLICIES, TOPOLOGIES
+    allowed = ("policy", "cp_fidelity", "cp_period", "topology",
+               "refresh_every", "calibration_rounds", "shadowing_sigma_db",
+               "path_loss_exponent", "ci_derating", "aggregation",
+               "controller_id")
+    _check_keys(data, allowed, "control")
+    _choice(data.get("policy", "coordinated"), "control.policy", "policy",
+            POLICIES)
+    _choice(data.get("cp_fidelity", "round"), "control.cp_fidelity",
+            "CP fidelity", FIDELITIES)
+    _choice(data.get("topology", "flocklab26"), "control.topology",
+            "topology", TOPOLOGIES)
+    _number(data.get("cp_period", 2.0), "control.cp_period", minimum=1e-9)
+    _number(data.get("refresh_every", 15), "control.refresh_every",
+            minimum=1, integer=True)
+    _number(data.get("calibration_rounds", 20), "control.calibration_rounds",
+            minimum=1, integer=True)
+    _number(data.get("shadowing_sigma_db", 3.0),
+            "control.shadowing_sigma_db", minimum=0.0)
+    _number(data.get("path_loss_exponent"), "control.path_loss_exponent",
+            minimum=0.0, allow_none=True)
+    _number(data.get("ci_derating"), "control.ci_derating", minimum=0.0,
+            allow_none=True)
+    _number(data.get("aggregation", 2), "control.aggregation", minimum=1,
+            integer=True)
+    _number(data.get("controller_id", 0), "control.controller_id",
+            minimum=0, integer=True)
+
+
+def _validate_fleet(data: Mapping[str, Any]) -> None:
+    from repro.neighborhood.federation import COORDINATION_MODES
+    from repro.workloads.scenarios import FLEET_MIXES
+    allowed = ("homes", "mix", "coordination", "rate_jitter", "size_jitter")
+    _check_keys(data, allowed, "fleet")
+    _number(data.get("homes", 20), "fleet.homes", minimum=1, integer=True)
+    mix = data.get("mix", "suburb")
+    _string(mix, "fleet.mix")
+    if mix not in FLEET_MIXES:
+        raise SpecError("fleet.mix", _unknown(mix, "preset", FLEET_MIXES))
+    _choice(data.get("coordination", "independent"), "fleet.coordination",
+            "coordination mode", COORDINATION_MODES)
+    _number(data.get("rate_jitter", 0.25), "fleet.rate_jitter", minimum=0.0)
+    _number(data.get("size_jitter", 0.2), "fleet.size_jitter", minimum=0.0)
+
+
+def _validate_sweep(data: Mapping[str, Any]) -> None:
+    from repro.core.system import POLICIES
+    _check_keys(data, ("rates", "policies"), "sweep")
+    rates = data.get("rates", [])
+    if not isinstance(rates, (list, tuple)):
+        raise SpecError("sweep.rates", f"must be a list, got {rates!r}")
+    for index, rate in enumerate(rates):
+        _number(rate, f"sweep.rates[{index}]", minimum=0.0)
+    policies = data.get("policies", ("coordinated", "uncoordinated"))
+    if not isinstance(policies, (list, tuple)) or not policies:
+        raise SpecError("sweep.policies",
+                        f"must be a non-empty list, got {policies!r}")
+    for index, policy in enumerate(policies):
+        _choice(policy, f"sweep.policies[{index}]", "policy", POLICIES)
+
+
+def _json_safe(value, path: str) -> None:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return
+    if isinstance(value, (list, tuple)):
+        for index, item in enumerate(value):
+            _json_safe(item, f"{path}[{index}]")
+        return
+    if isinstance(value, Mapping):
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise SpecError(path, f"object keys must be strings, "
+                                      f"got {key!r}")
+            _json_safe(item, f"{path}.{key}")
+        return
+    raise SpecError(path, f"value {value!r} is not JSON-serializable")
+
+
+def _validate_artefact(data: Mapping[str, Any]) -> None:
+    import inspect
+
+    from repro.api.compile import ARTEFACTS, resolve_artefact
+    _check_keys(data, ("kind", "params"), "artefact")
+    kind = data.get("kind")
+    _string(kind, "artefact.kind")
+    if kind not in ARTEFACTS:
+        raise SpecError("artefact.kind",
+                        _unknown(kind, "artefact kind", ARTEFACTS))
+    params = data.get("params", {})
+    if not isinstance(params, Mapping):
+        raise SpecError("artefact.params",
+                        f"must be an object, got {params!r}")
+    signature = inspect.signature(resolve_artefact(kind))
+    for key, value in params.items():
+        if not isinstance(key, str) or key not in signature.parameters:
+            known = list(signature.parameters)
+            raise SpecError(f"artefact.params.{key}",
+                            f"unknown parameter for {kind!r}"
+                            f"{_suggest(str(key), known)}; "
+                            f"accepts: {', '.join(known)}")
+        _json_safe(value, f"artefact.params.{key}")
+
+
+#: Which optional section each kind requires (and all others must be
+#: absent — a spec never carries dead configuration).
+_KIND_SECTIONS = {
+    "single": None,
+    "sweep": "sweep",
+    "neighborhood": "fleet",
+    "artefact": "artefact",
+}
+
+
+def validate_data(data: Mapping[str, Any]) -> None:
+    """Validate a raw spec dict (parsed JSON) against the schema.
+
+    Raises :class:`SpecError` on the first problem, with the dotted path
+    of the offending field in the message.
+    """
+    if not isinstance(data, Mapping):
+        raise SpecError("", f"spec must be an object, got {data!r}")
+    allowed = ("schema_version", "name", "kind", "scenario", "control",
+               "seeds", "until_s", "fleet", "sweep", "artefact")
+    _check_keys(data, allowed, "")
+    version = data.get("schema_version", SCHEMA_VERSION)
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise SpecError("schema_version",
+                        f"must be an integer, got {version!r}")
+    if version != SCHEMA_VERSION:
+        raise SpecError("schema_version",
+                        f"unsupported schema version {version} "
+                        f"(this build reads version {SCHEMA_VERSION})")
+    name = data.get("name")
+    if not isinstance(name, str) or not name:
+        raise SpecError("name", f"must be a non-empty string, got {name!r}")
+    kind = data.get("kind", "single")
+    if kind not in KINDS:
+        raise SpecError("kind", _unknown(str(kind), "kind", KINDS))
+    _validate_scenario(_section(data.get("scenario", {}), "scenario"))
+    _validate_control(_section(data.get("control", {}), "control"))
+    seeds = data.get("seeds", [1])
+    if not isinstance(seeds, (list, tuple)) or not seeds:
+        raise SpecError("seeds",
+                        f"must be a non-empty list of integers, "
+                        f"got {seeds!r}")
+    for index, seed in enumerate(seeds):
+        _number(seed, f"seeds[{index}]", minimum=0, integer=True)
+    _number(data.get("until_s"), "until_s", minimum=0.0, allow_none=True)
+
+    _reject_dead_fields(data, kind)
+
+    required = _KIND_SECTIONS[kind]
+    for section_name, validator in (("fleet", _validate_fleet),
+                                    ("sweep", _validate_sweep),
+                                    ("artefact", _validate_artefact)):
+        section_data = data.get(section_name)
+        if section_name == required:
+            if section_data is None:
+                raise SpecError(section_name,
+                                f"required for kind {kind!r}")
+            validator(_section(section_data, section_name))
+        elif section_data is not None:
+            raise SpecError(section_name,
+                            f"only valid for kind {_kind_of(section_name)!r}"
+                            f", this spec has kind {kind!r}")
+
+
+def _kind_of(section_name: str) -> str:
+    """The spec kind a section belongs to (for error messages)."""
+    return {"fleet": "neighborhood", "sweep": "sweep",
+            "artefact": "artefact"}[section_name]
+
+
+def _defaults_of(section_cls) -> dict:
+    """Field → schema default of a flat section dataclass."""
+    from dataclasses import fields
+    return {f.name: f.default for f in fields(section_cls)}
+
+
+def _reject_non_default(data: Mapping[str, Any], section: str,
+                        defaults: dict, kind: str, hint: str) -> None:
+    for key, value in data.items():
+        if value != defaults.get(key):
+            raise SpecError(f"{section}.{key}",
+                            f"not applicable to kind {kind!r} ({hint})")
+
+
+def _reject_dead_fields(data: Mapping[str, Any], kind: str) -> None:
+    """Refuse configuration the kind's execution path would ignore.
+
+    A field the compiler never reads would still perturb the spec hash,
+    so two documents that execute identically would get different
+    provenance — and a reader would believe configuration that was never
+    applied.  The same no-dead-configuration rule that forbids, say, a
+    ``sweep`` section on a neighborhood spec therefore extends to the
+    individual shared fields each kind ignores.
+    """
+    from repro.api.spec import ControlSpec, ScenarioSpec
+    scenario = _section(data.get("scenario", {}), "scenario")
+    control = _section(data.get("control", {}), "control")
+    seeds = data.get("seeds", [1])
+    if kind == "neighborhood":
+        # Homes draw their workloads from the fleet mix's archetypes;
+        # only the shared horizon crosses into the fleet build.
+        scenario_defaults = _defaults_of(ScenarioSpec)
+        for key, value in scenario.items():
+            if key == "horizon_s" or value == scenario_defaults.get(key):
+                continue
+            raise SpecError(
+                f"scenario.{key}",
+                "not applicable to kind 'neighborhood' (homes draw "
+                "their workloads from the fleet mix; only "
+                "scenario.horizon_s applies)")
+        if len(seeds) > 1:
+            raise SpecError(
+                "seeds",
+                "kind 'neighborhood' uses a single fleet seed (per-home "
+                "seeds derive from it); got "
+                f"{len(seeds)} seeds")
+    elif kind == "sweep":
+        if control.get("policy", "coordinated") != "coordinated":
+            raise SpecError(
+                "control.policy",
+                "not applicable to kind 'sweep' (vary policies via "
+                "sweep.policies)")
+        sweep = _section(data.get("sweep") or {}, "sweep")
+        if sweep.get("rates") and \
+                scenario.get("rate_per_hour") is not None:
+            raise SpecError(
+                "scenario.rate_per_hour",
+                "dead under a non-empty sweep.rates axis (each cell's "
+                "rate comes from the axis)")
+    elif kind == "artefact":
+        hint = "artefact generators configure themselves via " \
+               "artefact.params"
+        _reject_non_default(scenario, "scenario",
+                            _defaults_of(ScenarioSpec), kind, hint)
+        _reject_non_default(control, "control",
+                            _defaults_of(ControlSpec), kind, hint)
+        if list(seeds) != [1]:
+            raise SpecError("seeds", f"not applicable to kind {kind!r} "
+                                     f"({hint})")
+        if data.get("until_s") is not None:
+            raise SpecError("until_s", f"not applicable to kind {kind!r} "
+                                       f"({hint})")
+
+
+def validate(spec) -> None:
+    """Validate a constructed :class:`~repro.api.spec.ExperimentSpec`.
+
+    Serializes to the canonical dict and runs :func:`validate_data`, so
+    hand-built trees face exactly the checks loaded JSON does.
+    """
+    validate_data(spec.to_dict())

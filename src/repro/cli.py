@@ -1,4 +1,9 @@
-"""Command-line interface: regenerate any paper figure or ablation.
+"""Command-line interface: one front door over the spec API.
+
+Every command compiles down to a declarative
+:class:`~repro.api.spec.ExperimentSpec` executed through
+:func:`repro.api.run.run`; the classic flag forms survive as sugar that
+constructs a spec.
 
 Usage::
 
@@ -11,6 +16,10 @@ Usage::
                               st-vs-at,spof}
     python -m repro run --policy coordinated --rate 30 --seed 1
     python -m repro run --jobs 4 --seeds 1 2 3 4   # parallel seed fan-out
+    python -m repro run --spec experiment.json --jobs 4   # declarative
+    python -m repro spec show HEADLINE             # registry entry as JSON
+    python -m repro spec validate experiment.json
+    python -m repro spec dump --all --out specs/
     python -m repro neighborhood --homes 20 --jobs 4 --mix suburb
     python -m repro neighborhood --homes 20 --coordinate   # feeder CP
     python -m repro regen FIG2A HEADLINE --jobs 2
@@ -20,18 +29,26 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.analysis.report import format_table
-from repro.core.system import FIDELITIES, POLICIES, HanConfig, run_experiment
-from repro.experiments import ablations, cp_trace, figures
-from repro.experiments.runner import (
-    ParallelRunner,
-    RunSpec,
-    WorkerFailure,
-    run_registry,
+from repro.api import run as run_spec
+from repro.api.compile import compile_fleet
+from repro.api.spec import (
+    ControlSpec,
+    ExperimentSpec,
+    FleetPlan,
+    ScenarioSpec,
+    spec_from_config,
+    spec_from_scenario,
 )
-from repro.neighborhood import build_fleet, run_neighborhood
+from repro.api.validate import SpecError, validate
+from repro.core.system import FIDELITIES, POLICIES
+from repro.experiments import ablations, cp_trace, figures
+from repro.experiments.runner import WorkerFailure, run_registry
+from repro.neighborhood import build_fleet, execute_fleet
 from repro.sim.units import MINUTE
 from repro.workloads.scenarios import FLEET_MIXES, paper_scenario
 
@@ -76,8 +93,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--devices", type=int, default=26)
     p.add_argument("--jobs", type=int, default=1,
                    help="fan --seeds out over N worker processes")
+    p.add_argument("--spec", metavar="PATH", default=None,
+                   help="run a serialized ExperimentSpec (JSON); other "
+                        "experiment flags are ignored")
     p.add_argument("--export-json", metavar="PATH", default=None,
                    help="write the full run result as JSON")
+
+    p = sub.add_parser("spec",
+                       help="show, validate or dump experiment specs")
+    spec_sub = p.add_subparsers(dest="spec_command", required=True)
+    p_show = spec_sub.add_parser(
+        "show", help="print a registry experiment as spec JSON")
+    p_show.add_argument("ids", nargs="+", help="experiment ids")
+    p_validate = spec_sub.add_parser(
+        "validate", help="validate a spec JSON file")
+    p_validate.add_argument("path", help="spec JSON file")
+    p_dump = spec_sub.add_parser(
+        "dump", help="write registry specs to <out>/<id>.json")
+    p_dump.add_argument("ids", nargs="*",
+                        help="experiment ids (or use --all)")
+    p_dump.add_argument("--all", action="store_true", dest="dump_all",
+                        help="dump every registry experiment")
+    p_dump.add_argument("--out", metavar="DIR", default="specs",
+                        help="output directory (default: specs/)")
 
     p = sub.add_parser("neighborhood",
                        help="N heterogeneous homes behind one feeder")
@@ -126,22 +164,91 @@ def _check_jobs(jobs: int) -> None:
         raise _BadInput(f"jobs must be >= 1, got {jobs}")
 
 
-def _run_seed_fanout(args: argparse.Namespace, scenario,
-                     horizon: Optional[float]) -> None:
+def _load_spec(path: str) -> ExperimentSpec:
+    """Read + validate a spec JSON file; every failure is a _BadInput."""
+    spec_path = Path(path)
+    try:
+        text = spec_path.read_text()
+    except OSError as bad:
+        raise _BadInput(f"cannot read spec file {path!r}: {bad}") from bad
+    try:
+        return ExperimentSpec.from_json(text)
+    except SpecError as bad:
+        raise _BadInput(f"invalid spec {path!r}: {bad}") from bad
+
+
+def _registry_spec(exp_id: str) -> ExperimentSpec:
+    """The declarative spec of a registry experiment (exit 2 if none)."""
+    from repro.experiments.registry import get
+    experiment = _checked(get, exp_id)
+    if experiment.spec is None:
+        raise _BadInput(f"experiment {exp_id!r} has no spec")
+    return experiment.spec
+
+
+def _export_run_results(spec: ExperimentSpec, results, base: str) -> None:
+    """Write per-run JSON files, one per run of the spec.
+
+    A lone run gets ``base`` itself (the whole spec regenerates exactly
+    that file).  A single-kind fan-out keeps the ``.seedN`` suffixes;
+    a sweep grid labels every (rate, policy, seed) cell, each stamped
+    with the single-run spec that regenerates that cell alone.
+    """
+    from repro.analysis.export import run_result_to_json
+    if len(results) == 1:
+        path = run_result_to_json(results[0], base, spec=spec)
+        print(f"result written to {path}")
+        return
+    base_path = Path(base)
+    suffix = base_path.suffix or ".json"
+    if spec.kind == "single":
+        for result, seed in zip(results, spec.seeds):
+            path = base_path.with_name(
+                f"{base_path.stem}.seed{seed}{suffix}")
+            run_result_to_json(result, path,
+                               spec=replace(spec, seeds=(seed,)))
+            print(f"result written to {path}")
+        return
+    for result in results:
+        config = result.config
+        label = (f"{config.scenario.name}.{config.policy}"
+                 f".seed{config.seed}").replace("/", "-")
+        path = base_path.with_name(f"{base_path.stem}.{label}{suffix}")
+        run_result_to_json(result, path,
+                           spec=spec_from_config(config,
+                                                 until=spec.until_s))
+        print(f"result written to {path}")
+
+
+def _run_spec_file(args: argparse.Namespace) -> int:
+    """``repro run --spec path.json``: the fully declarative path."""
+    _check_jobs(args.jobs)
+    spec = _load_spec(args.spec)
+    result = run_spec(spec, jobs=args.jobs)
+    print(result.render())
+    if args.export_json:
+        if result.runs:
+            _export_run_results(spec, result.runs, args.export_json)
+        elif result.neighborhood is not None:
+            from repro.analysis.export import neighborhood_to_json
+            path = neighborhood_to_json(result.neighborhood,
+                                        args.export_json, spec=spec)
+            print(f"result written to {path}")
+        else:
+            print("note: --export-json ignored for artefact specs")
+    return 0
+
+
+def _run_seed_fanout(args: argparse.Namespace, spec: ExperimentSpec) -> None:
     """``repro run --jobs N``: one run per --seeds entry, in parallel."""
     import numpy as np
     if args.seed not in args.seeds:
         print(f"note: --seed {args.seed} ignored in fan-out mode; "
               f"fanning out --seeds {args.seeds}")
-    specs = [RunSpec(name=f"{scenario.name}/seed{seed}",
-                     config=HanConfig(scenario=scenario, policy=args.policy,
-                                      cp_fidelity=args.fidelity, seed=seed),
-                     until=horizon)
-             for seed in args.seeds]
-    results = ParallelRunner(jobs=args.jobs).run(specs)
-    all_stats = [result.stats(end=horizon) for result in results]
+    result = run_spec(spec, jobs=args.jobs)
+    all_stats = result.stats()
     rows = [[seed, st.peak_kw, st.mean_kw, st.std_kw, st.energy_kwh]
-            for seed, st in zip(args.seeds, all_stats)]
+            for seed, st in zip(spec.seeds, all_stats)]
     for label, pick in (("mean", np.mean), ("std", np.std)):
         rows.append([label,
                      float(pick([s.peak_kw for s in all_stats])),
@@ -150,18 +257,10 @@ def _run_seed_fanout(args: argparse.Namespace, scenario,
                      float(pick([s.energy_kwh for s in all_stats]))])
     print(format_table(
         ["seed", "peak kW", "mean kW", "std kW", "energy kWh"], rows,
-        title=f"run: {scenario.name}, policy {args.policy}, "
-              f"{len(args.seeds)} seeds x {args.jobs} jobs"))
+        title=f"run: {result.runs[0].config.scenario.name}, policy "
+              f"{args.policy}, {len(spec.seeds)} seeds x {args.jobs} jobs"))
     if args.export_json:
-        from pathlib import Path
-
-        from repro.analysis.export import run_result_to_json
-        base = Path(args.export_json)
-        suffix = base.suffix or ".json"
-        for seed, result in zip(args.seeds, results):
-            path = base.with_name(f"{base.stem}.seed{seed}{suffix}")
-            run_result_to_json(result, path)
-            print(f"result written to {path}")
+        _export_run_results(spec, result.runs, args.export_json)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -171,7 +270,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except WorkerFailure as failure:
         print(f"error: {failure}", file=sys.stderr)
         return 1
-    except _BadInput as bad_input:
+    except (_BadInput, SpecError) as bad_input:
+        # SpecError surfaces here when flag-built specs fail run()'s
+        # re-validation (e.g. --devices 0) — same clean contract as
+        # --spec files: the message with its field path, never a
+        # traceback.
         print(f"error: {bad_input}", file=sys.stderr)
         return 2
 
@@ -211,18 +314,23 @@ def _dispatch(args: argparse.Namespace) -> int:
         }[args.which]
         print(runner().text)
     elif args.command == "run":
+        if args.spec:
+            return _run_spec_file(args)
         scenario = paper_scenario("high").with_rate(args.rate)
         if args.devices != scenario.n_devices:
-            from dataclasses import replace
             scenario = replace(scenario, n_devices=args.devices)
         _check_jobs(args.jobs)
+        spec = ExperimentSpec(
+            name=f"cli-run-{scenario.name}",
+            scenario=spec_from_scenario(scenario),
+            control=ControlSpec(policy=args.policy,
+                                cp_fidelity=args.fidelity),
+            seeds=tuple(args.seeds) if args.jobs > 1 else (args.seed,),
+            until_s=horizon)
         if args.jobs > 1:
-            _run_seed_fanout(args, scenario, horizon)
+            _run_seed_fanout(args, spec)
             return 0
-        result = run_experiment(
-            HanConfig(scenario=scenario, policy=args.policy,
-                      cp_fidelity=args.fidelity, seed=args.seed),
-            until=horizon)
+        result = run_spec(spec).run_result()
         stats = result.stats(end=horizon)
         print(format_table(
             ["metric", "value"],
@@ -237,16 +345,32 @@ def _dispatch(args: argparse.Namespace) -> int:
             title=f"run: {scenario.name}, seed {args.seed}"))
         if args.export_json:
             from repro.analysis.export import run_result_to_json
-            path = run_result_to_json(result, args.export_json)
+            path = run_result_to_json(result, args.export_json, spec=spec)
             print(f"result written to {path}")
+    elif args.command == "spec":
+        return _dispatch_spec(args)
     elif args.command == "neighborhood":
         _check_jobs(args.jobs)
-        fleet = _checked(build_fleet, args.homes, mix=args.mix,
-                         seed=args.seed, policy=args.policy,
-                         cp_fidelity=args.fidelity, horizon=horizon)
         coordination = "feeder" if args.coordinate else "independent"
-        result = run_neighborhood(fleet, jobs=args.jobs,
-                                  coordination=coordination)
+        spec = ExperimentSpec(
+            name=f"cli-neighborhood-{args.mix}-{args.homes}homes",
+            kind="neighborhood",
+            scenario=ScenarioSpec(horizon_s=horizon),
+            control=ControlSpec(policy=args.policy,
+                                cp_fidelity=args.fidelity),
+            seeds=(args.seed,),
+            fleet=FleetPlan(homes=args.homes, mix=args.mix,
+                            coordination=coordination))
+        # Same contract as `repro run --spec`: the provenance spec the
+        # exports embed must itself validate, or the artefact's
+        # "regenerate me" block would be a lie (SpecError → exit 2).
+        validate(spec)
+        # One lowering path: the executed fleet and the provenance spec
+        # both come from compile_fleet, so they cannot diverge.  The
+        # builder stays this module's (patchable) attribute.
+        fleet = _checked(compile_fleet, spec, builder=build_fleet)
+        result = execute_fleet(fleet, jobs=args.jobs,
+                               coordination=coordination, spec=spec)
         print(result.render())
         if args.export_json:
             from repro.analysis.export import neighborhood_to_json
@@ -270,6 +394,37 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(format_table(["id", "paper artefact", "description"], rows,
                            title="Reproducible experiments "
                                  "(see DESIGN.md / EXPERIMENTS.md)"))
+    return 0
+
+
+def _dispatch_spec(args: argparse.Namespace) -> int:
+    """The ``repro spec show/validate/dump`` family."""
+    if args.spec_command == "show":
+        for exp_id in args.ids:
+            print(_registry_spec(exp_id).to_json())
+    elif args.spec_command == "validate":
+        spec = _load_spec(args.path)
+        from repro.api import spec_hash
+        print(f"ok: {spec.name} (kind {spec.kind}, "
+              f"spec {spec_hash(spec)[:12]})")
+    elif args.spec_command == "dump":
+        from repro.experiments.registry import all_experiments
+        if args.dump_all and args.ids:
+            raise _BadInput("spec dump takes experiment ids or --all, "
+                            "not both")
+        if args.dump_all:
+            ids = [e.exp_id for e in all_experiments()]
+        elif args.ids:
+            ids = list(args.ids)
+        else:
+            raise _BadInput("spec dump needs experiment ids or --all")
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for exp_id in ids:
+            spec = _registry_spec(exp_id)
+            path = out_dir / f"{exp_id}.json"
+            path.write_text(spec.to_json() + "\n")
+            print(f"spec written to {path}")
     return 0
 
 

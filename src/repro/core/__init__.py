@@ -19,7 +19,9 @@ from repro.core.system import (
     POLICIES,
     HanConfig,
     HanSystem,
+    TOPOLOGIES,
     RunResult,
+    execute_config,
     make_topology,
     run_experiment,
 )
@@ -39,8 +41,10 @@ __all__ = [
     "RunResult",
     "SchedulerConfig",
     "SharedView",
+    "TOPOLOGIES",
     "UncoordinatedAgent",
     "decisions_for_device",
+    "execute_config",
     "make_topology",
     "plan_admissions",
     "run_experiment",

@@ -63,6 +63,8 @@ from repro.workloads.scenarios import Scenario
 
 POLICIES = ("coordinated", "uncoordinated", "centralized")
 FIDELITIES = ("ideal", "round", "slot")
+#: Topology names :func:`make_topology` resolves.
+TOPOLOGIES = ("flocklab26", "grid", "line", "home")
 
 
 @dataclass
@@ -383,7 +385,31 @@ def make_topology(name: str, n: int) -> Topology:
     raise ValueError(f"unknown topology {name!r}")
 
 
+def execute_config(config: HanConfig,
+                   until: Optional[float] = None) -> RunResult:
+    """Execute one fully-specified config: build the system, run, package.
+
+    This is the non-deprecated execution primitive the spec API bottoms
+    out in (``repro.api.run`` → ``ParallelRunner`` → here); application
+    code should describe runs as :class:`~repro.api.spec.ExperimentSpec`
+    and call :func:`repro.api.run.run` instead.
+    """
+    return HanSystem(config).run(until=until)
+
+
 def run_experiment(config: HanConfig,
                    until: Optional[float] = None) -> RunResult:
-    """Convenience one-call runner."""
-    return HanSystem(config).run(until=until)
+    """Deprecated convenience runner; use :func:`repro.api.run.run`.
+
+    Kept as a shim: builds the equivalent single-run
+    :class:`~repro.api.spec.ExperimentSpec` and delegates to the spec
+    API, which produces bit-identical results (the agents field is
+    dropped, as for any runner-transported result).
+    """
+    import warnings
+    warnings.warn(
+        "run_experiment() is deprecated; build an ExperimentSpec and "
+        "call repro.api.run() instead", DeprecationWarning, stacklevel=2)
+    from repro.api import run as run_spec
+    from repro.api.spec import spec_from_config
+    return run_spec(spec_from_config(config, until=until)).runs[0]

@@ -15,7 +15,7 @@ import numpy as np
 from repro.analysis.loadstats import percent_reduction
 from repro.analysis.report import format_table
 from repro.core.scheduler import SchedulerConfig
-from repro.core.system import HanConfig, HanSystem, run_experiment
+from repro.core.system import HanConfig, HanSystem, execute_config
 from repro.experiments.cp_trace import trace_cp
 from repro.experiments.figures import FigureData
 from repro.han.dutycycle import DutyCycleSpec
@@ -48,7 +48,7 @@ def cp_period_sweep(periods: Sequence[float] = (0.5, 2.0, 10.0, 60.0),
     rows = []
     data = {}
     for period in periods:
-        results = [run_experiment(
+        results = [execute_config(
             HanConfig(scenario=scenario, policy="coordinated",
                       cp_fidelity="round", cp_period=period, seed=seed),
             until=horizon) for seed in seeds]
@@ -93,7 +93,7 @@ def loss_sweep(exponents: Sequence[float] = (3.5, 4.3, 4.4, 4.45),
     rows = []
     data = {}
     for exponent in exponents:
-        results = [run_experiment(
+        results = [execute_config(
             HanConfig(scenario=scenario, policy="coordinated",
                       cp_fidelity="round", path_loss_exponent=exponent,
                       seed=seed), until=horizon) for seed in seeds]
@@ -140,7 +140,7 @@ def scale_sweep(device_counts: Sequence[int] = (10, 26, 40, 60),
         stds = {"coordinated": [], "uncoordinated": []}
         for policy in peaks:
             for seed in seeds:
-                result = run_experiment(
+                result = execute_config(
                     HanConfig(scenario=scenario, policy=policy,
                               cp_fidelity="round", seed=seed),
                     until=horizon)
@@ -184,7 +184,7 @@ def slots_sweep(specs: Sequence[tuple[float, float]] = ((15, 30), (10, 30),
         stds = {"coordinated": [], "uncoordinated": []}
         for policy in peaks:
             for seed in seeds:
-                result = run_experiment(
+                result = execute_config(
                     HanConfig(scenario=scenario, policy=policy,
                               cp_fidelity="round", seed=seed),
                     until=horizon)
@@ -225,7 +225,7 @@ def scheduler_variants(seeds: Sequence[int] = (1, 2, 3),
         ("stagger/strict", {"mode": "stagger", "deferral": "strict"}),
         ("grid", {"mode": "grid"}),
     ]
-    baseline_stats = [run_experiment(
+    baseline_stats = [execute_config(
         HanConfig(scenario=scenario, policy="uncoordinated",
                   cp_fidelity="round", seed=seed),
         until=horizon).stats(end=horizon) for seed in seeds]
@@ -275,7 +275,7 @@ def neighborhood_coordination(n_homes: Sequence[int] = (6, 12),
 
     For every (fleet mix, fleet size) cell, runs one neighborhood with the
     feeder collaboration plane on
-    (:func:`~repro.neighborhood.federation.run_neighborhood` with
+    (:func:`~repro.neighborhood.federation.execute_fleet` with
     ``coordination="feeder"``) — one run yields both sides, since the
     independent baseline profile rides along in the
     :class:`~repro.neighborhood.coordination.FeederCoordination` record.
@@ -283,15 +283,15 @@ def neighborhood_coordination(n_homes: Sequence[int] = (6, 12),
     the coincident-peak reduction, and the (identically zero) per-home
     energy drift.
     """
-    from repro.neighborhood import build_fleet, run_neighborhood
+    from repro.neighborhood import build_fleet, execute_fleet
     rows = []
     data = {}
     for mix in mixes:
         for n in n_homes:
             fleet = build_fleet(n, mix=mix, seed=seed,
                                 cp_fidelity=cp_fidelity, horizon=horizon)
-            result = run_neighborhood(fleet, jobs=jobs, until=horizon,
-                                      coordination="feeder")
+            result = execute_fleet(fleet, jobs=jobs, until=horizon,
+                                   coordination="feeder")
             comparison = result.comparison()
             row = {
                 "mix": mix,

@@ -14,10 +14,21 @@ import numpy as np
 
 from repro.analysis.loadstats import percent_reduction
 from repro.analysis.report import format_table, side_by_side_series, sparkline
-from repro.core.system import HanConfig, run_experiment
-from repro.experiments.runner import compare_policies, sweep_rates
+from repro.api import run as run_spec
+from repro.api.spec import ControlSpec, ExperimentSpec, SweepSpec
 from repro.sim.units import KILOWATT, MINUTE
 from repro.workloads.scenarios import PAPER_RATES, paper_scenario
+
+
+def _paper_sweep(name: str, rates: Sequence[float], seeds: Sequence[int],
+                 cp_fidelity: str):
+    """Run the paper scenario's (rate x policy x seed) grid via the API."""
+    spec = ExperimentSpec(
+        name=name, kind="sweep",
+        control=ControlSpec(cp_fidelity=cp_fidelity),
+        seeds=tuple(seeds),
+        sweep=SweepSpec(rates=tuple(rates)))
+    return run_spec(spec).sweep_table()
 
 
 @dataclass
@@ -41,9 +52,10 @@ def fig2a(seed: int = 1, cp_fidelity: str = "round",
     stats = {}
     for policy, label in (("coordinated", "with_coordination"),
                           ("uncoordinated", "wo_coordination")):
-        result = run_experiment(
-            HanConfig(scenario=scenario, policy=policy,
-                      cp_fidelity=cp_fidelity, seed=seed), until=horizon)
+        result = run_spec(ExperimentSpec(
+            name=f"fig2a-{policy}",
+            control=ControlSpec(policy=policy, cp_fidelity=cp_fidelity),
+            seeds=(seed,), until_s=horizon)).run_result()
         series[label] = result.load_w
         stats[label] = result.stats(end=horizon)
     end = horizon if horizon is not None else scenario.horizon
@@ -69,8 +81,7 @@ def fig2b(seeds: Sequence[int] = (1, 2, 3), cp_fidelity: str = "round",
           horizon: Optional[float] = None) -> FigureData:
     """Figure 2(b): peak load vs arrival rate, with vs w/o coordination."""
     rates = list(rates) if rates is not None else sorted(PAPER_RATES.values())
-    sweep = sweep_rates(paper_scenario("high"), rates, seeds=seeds,
-                        cp_fidelity=cp_fidelity)
+    sweep = _paper_sweep("fig2b", rates, seeds, cp_fidelity)
     rows = []
     data = {}
     for rate in rates:
@@ -100,8 +111,7 @@ def fig2c(seeds: Sequence[int] = (1, 2, 3), cp_fidelity: str = "round",
     standard deviation over the run), which is what coordination shrinks.
     """
     rates = list(rates) if rates is not None else sorted(PAPER_RATES.values())
-    sweep = sweep_rates(paper_scenario("high"), rates, seeds=seeds,
-                        cp_fidelity=cp_fidelity)
+    sweep = _paper_sweep("fig2c", rates, seeds, cp_fidelity)
     rows = []
     data = {}
     for rate in rates:
@@ -129,8 +139,7 @@ def headline_numbers(seeds: Sequence[int] = (1, 2, 3, 4, 5),
                      cp_fidelity: str = "round") -> FigureData:
     """§III text: peak ↓ up to 50 %, variation ↓ up to 58 %, mean equal."""
     rates = sorted(PAPER_RATES.values())
-    sweep = sweep_rates(paper_scenario("high"), rates, seeds=seeds,
-                        cp_fidelity=cp_fidelity)
+    sweep = _paper_sweep("headline", rates, seeds, cp_fidelity)
     peak_reductions = []
     std_reductions = []
     mean_drifts = []

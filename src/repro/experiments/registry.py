@@ -1,97 +1,127 @@
 """A registry of every reproducible artefact in this repository.
 
-Maps experiment ids (DESIGN.md's experiment index) to the callables that
-regenerate them, so tooling — the CLI, docs generators, CI — can enumerate
-and run them uniformly.
+Maps experiment ids (DESIGN.md's experiment index) to declarative
+:class:`~repro.api.spec.ExperimentSpec` values plus the expected-artefact
+locations, so tooling — the CLI (``repro spec show/dump``, ``repro
+regen``), docs generators, CI's spec-roundtrip job — can enumerate,
+serialize and run them uniformly.  Each entry still carries its direct
+``regenerate`` callable, but execution routes through the spec
+(``repro.api.run``): the spec *is* the experiment, the callable just
+names its generator.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.api.spec import ArtefactSpec, ExperimentSpec
 from repro.experiments import ablations, cp_trace, figures
 
 
 @dataclass(frozen=True)
 class Experiment:
-    """One regenerable artefact."""
+    """One regenerable artefact: a named spec + where its output lives."""
 
     exp_id: str
     paper_artefact: str
     description: str
     regenerate: Callable[..., object]
     bench: str
+    #: The declarative spec equivalent to calling ``regenerate()`` with
+    #: defaults; ``repro regen`` executes this through the spec API.
+    spec: Optional[ExperimentSpec] = field(default=None)
+    #: Committed rendering of the expected artefact (the golden text the
+    #: bench harness regenerates), relative to the repo root.
+    artefact_path: str = ""
 
 
 REGISTRY: dict[str, Experiment] = {}
 
 
 def _register(exp_id: str, paper_artefact: str, description: str,
-              regenerate: Callable[..., object], bench: str) -> None:
-    REGISTRY[exp_id] = Experiment(exp_id, paper_artefact, description,
-                                  regenerate, bench)
+              regenerate: Callable[..., object], bench: str,
+              artefact_kind: str, artefact_file: str) -> None:
+    spec = ExperimentSpec(name=exp_id, kind="artefact",
+                          artefact=ArtefactSpec(kind=artefact_kind))
+    REGISTRY[exp_id] = Experiment(
+        exp_id, paper_artefact, description, regenerate, bench,
+        spec=spec,
+        artefact_path=f"benchmarks/results/{artefact_file}.txt")
 
 
 _register(
     "FIG2A", "Figure 2(a)",
     "total system load vs time (350 min, 30 req/h), with vs w/o "
     "coordination",
-    figures.fig2a, "benchmarks/test_bench_fig2a.py")
+    figures.fig2a, "benchmarks/test_bench_fig2a.py",
+    "fig2a", "fig2a")
 _register(
     "FIG2B", "Figure 2(b)",
     "peak load vs arrival rate {4, 18, 30}/h, with vs w/o coordination",
-    figures.fig2b, "benchmarks/test_bench_fig2b.py")
+    figures.fig2b, "benchmarks/test_bench_fig2b.py",
+    "fig2b", "fig2b")
 _register(
     "FIG2C", "Figure 2(c)",
     "average load with load-deviation bars vs arrival rate",
-    figures.fig2c, "benchmarks/test_bench_fig2c.py")
+    figures.fig2c, "benchmarks/test_bench_fig2c.py",
+    "fig2c", "fig2c")
 _register(
     "HEADLINE", "abstract / §III text",
     "peak reduced up to 50%, variation up to 58%, average unchanged",
-    figures.headline_numbers, "benchmarks/test_bench_headline.py")
+    figures.headline_numbers, "benchmarks/test_bench_headline.py",
+    "headline", "headline")
 _register(
     "FIG1", "Figure 1",
     "MiniCast Communication-Plane rounds every 2 s (latency, delivery, "
     "sync, energy)",
-    cp_trace.trace_cp, "benchmarks/test_bench_cp_round.py")
+    cp_trace.trace_cp, "benchmarks/test_bench_cp_round.py",
+    "cp-trace", "fig1-cp-trace")
 _register(
     "ABL-CP-PERIOD", "design choice (2 s round period)",
     "CP-period sweep: admission latency vs load shape",
     ablations.cp_period_sweep,
-    "benchmarks/test_bench_ablation_cp_period.py")
+    "benchmarks/test_bench_ablation_cp_period.py",
+    "abl-cp-period", "abl-cp-period")
 _register(
     "ABL-LOSS", "robustness",
     "path-loss sweep across the flood-delivery cliff",
-    ablations.loss_sweep, "benchmarks/test_bench_ablation_loss.py")
+    ablations.loss_sweep, "benchmarks/test_bench_ablation_loss.py",
+    "abl-loss", "abl-loss")
 _register(
     "ABL-SCALE", "scalability",
     "fleet-size sweep 10→60 devices at constant per-device rate",
-    ablations.scale_sweep, "benchmarks/test_bench_ablation_scale.py")
+    ablations.scale_sweep, "benchmarks/test_bench_ablation_scale.py",
+    "abl-scale", "abl-scale")
 _register(
     "ABL-SLOTS", "sensitivity",
     "minDCD/maxDCP working-point sweep",
-    ablations.slots_sweep, "benchmarks/test_bench_ablation_slots.py")
+    ablations.slots_sweep, "benchmarks/test_bench_ablation_slots.py",
+    "abl-slots", "abl-slots")
 _register(
     "ABL-VARIANTS", "design choice (placement mode)",
     "stagger vs grid placement; period vs strict deferral",
     ablations.scheduler_variants,
-    "benchmarks/test_bench_ablation_variants.py")
+    "benchmarks/test_bench_ablation_variants.py",
+    "abl-variants", "abl-variants")
 _register(
     "NBHD-COORD", "beyond-paper: feeder-level coordination",
     "cross-home phase staggering vs independent homes: diversity-factor "
     "uplift across fleet mixes and sizes",
     ablations.neighborhood_coordination,
-    "benchmarks/test_bench_neighborhood.py")
+    "benchmarks/test_bench_neighborhood.py",
+    "nbhd-coord", "nbhd-coord")
 _register(
     "ABL-ST-VS-AT", "introduction's motivation",
     "ST vs AT stacks: energy, latency, request storms",
-    ablations.st_vs_at, "benchmarks/test_bench_st_vs_at.py")
+    ablations.st_vs_at, "benchmarks/test_bench_st_vs_at.py",
+    "abl-st-vs-at", "abl-st-vs-at")
 _register(
     "ABL-SPOF", "introduction's motivation",
     "controller death vs one-DI death",
     ablations.spof_comparison,
-    "benchmarks/test_bench_ablation_variants.py")
+    "benchmarks/test_bench_ablation_variants.py",
+    "abl-spof", "abl-spof")
 
 
 def get(exp_id: str) -> Experiment:

@@ -24,7 +24,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.analysis.loadstats import LoadStats, load_stats, mean_and_std
-from repro.core.system import HanConfig, RunResult, run_experiment
+from repro.core.system import HanConfig, RunResult, execute_config
 from repro.workloads.scenarios import Scenario
 
 
@@ -58,17 +58,28 @@ def _execute_run_spec(spec: RunSpec) -> tuple:
     does.
     """
     try:
-        result = run_experiment(spec.config, until=spec.until)
+        result = execute_config(spec.config, until=spec.until)
         return ("ok", spec.name, result.portable())
     except Exception:
         return ("err", spec.name, traceback.format_exc())
 
 
 def _execute_registry_entry(exp_id: str) -> tuple:
-    """Worker body for :meth:`ParallelRunner.regenerate`."""
+    """Worker body for :meth:`ParallelRunner.regenerate`.
+
+    Registry entries are declarative now: when the experiment carries an
+    :class:`~repro.api.spec.ExperimentSpec` (all built-ins do), the
+    worker executes it through the spec API — the same path
+    ``repro run --spec`` takes — and falls back to the entry's bare
+    ``regenerate`` callable otherwise.
+    """
     from repro.experiments.registry import get
     try:
-        return ("ok", exp_id, get(exp_id).regenerate())
+        experiment = get(exp_id)
+        if experiment.spec is not None:
+            from repro.api import run as run_spec
+            return ("ok", exp_id, run_spec(experiment.spec).artefact)
+        return ("ok", exp_id, experiment.regenerate())
     except Exception:
         return ("err", exp_id, traceback.format_exc())
 
@@ -154,6 +165,34 @@ class PolicyOutcome:
         return float(np.mean(waits)) if waits else 0.0
 
 
+def _sweep_spec(scenario: Scenario, rates: Sequence[float],
+                policies: Sequence[str], seeds: Sequence[int],
+                cp_fidelity: str, horizon: Optional[float],
+                config_kwargs: dict):
+    """Build the ExperimentSpec equivalent of a legacy grid call."""
+    from repro.api.spec import (
+        ControlSpec,
+        ExperimentSpec,
+        SweepSpec,
+        spec_from_scenario,
+    )
+    from dataclasses import replace as dc_replace
+    control_kwargs = dict(config_kwargs)
+    if "topology_name" in control_kwargs:
+        control_kwargs["topology"] = control_kwargs.pop("topology_name")
+    control = ControlSpec(cp_fidelity=cp_fidelity, **control_kwargs)
+    scenario_spec = spec_from_scenario(scenario)
+    if rates:
+        # Each cell's rate comes from the axis; the base scenario's own
+        # rate would be dead configuration (the validator rejects it).
+        scenario_spec = dc_replace(scenario_spec, rate_per_hour=None)
+    return ExperimentSpec(
+        name=f"{scenario.base_name}-sweep", kind="sweep",
+        scenario=scenario_spec, control=control,
+        seeds=tuple(seeds), until_s=horizon,
+        sweep=SweepSpec(rates=tuple(rates), policies=tuple(policies)))
+
+
 def compare_policies(scenario: Scenario,
                      policies: Sequence[str] = ("coordinated",
                                                 "uncoordinated"),
@@ -162,18 +201,22 @@ def compare_policies(scenario: Scenario,
                      horizon: Optional[float] = None,
                      jobs: int = 1,
                      **config_kwargs) -> dict[str, PolicyOutcome]:
-    """Run every (policy, seed) combination of one scenario."""
-    specs = [RunSpec(name=f"{scenario.name}/{policy}/seed{seed}",
-                     config=HanConfig(scenario=scenario, policy=policy,
-                                      cp_fidelity=cp_fidelity, seed=seed,
-                                      **config_kwargs),
-                     until=horizon)
-             for policy in policies for seed in seeds]
-    results = ParallelRunner(jobs=jobs).run(specs)
-    outcomes = {policy: PolicyOutcome(policy) for policy in policies}
-    for result in results:
-        outcomes[result.config.policy].results.append(result)
-    return outcomes
+    """Deprecated grid runner; use :func:`repro.api.run.run`.
+
+    Shim: builds the equivalent sweep
+    :class:`~repro.api.spec.ExperimentSpec` (rate axis empty), delegates
+    to the spec API and reshapes the uniform result back into the legacy
+    per-policy mapping — bit-identically.
+    """
+    import warnings
+    warnings.warn(
+        "compare_policies() is deprecated; build a sweep ExperimentSpec "
+        "and call repro.api.run() instead", DeprecationWarning,
+        stacklevel=2)
+    from repro.api import run as run_spec
+    spec = _sweep_spec(scenario, (), policies, seeds, cp_fidelity,
+                       horizon, config_kwargs)
+    return run_spec(spec, jobs=jobs).by_policy()
 
 
 def sweep_rates(scenario: Scenario, rates: Sequence[float],
@@ -183,27 +226,18 @@ def sweep_rates(scenario: Scenario, rates: Sequence[float],
                 horizon: Optional[float] = None,
                 jobs: int = 1,
                 **config_kwargs) -> dict[float, dict[str, PolicyOutcome]]:
-    """The Figure 2(b)/(c) sweep: policies × arrival rates × seeds.
+    """Deprecated Figure 2(b)/(c) sweep; use :func:`repro.api.run.run`.
 
-    With ``jobs > 1`` the *whole* grid — every (rate, policy, seed) cell —
-    is one flat batch, so wall-clock is bounded by the slowest single run.
+    Shim: builds the equivalent sweep
+    :class:`~repro.api.spec.ExperimentSpec` and delegates; the compiled
+    grid flattens exactly as before (every (rate, policy, seed) cell one
+    batch entry), so results and worker fan-out are unchanged.
     """
-    specs = []
-    for rate in rates:
-        rated = scenario.with_rate(rate)
-        for policy in policies:
-            for seed in seeds:
-                specs.append(RunSpec(
-                    name=f"{rated.name}/{policy}/seed{seed}",
-                    config=HanConfig(scenario=rated, policy=policy,
-                                     cp_fidelity=cp_fidelity, seed=seed,
-                                     **config_kwargs),
-                    until=horizon))
-    results = ParallelRunner(jobs=jobs).run(specs)
-    table: dict[float, dict[str, PolicyOutcome]] = {
-        rate: {policy: PolicyOutcome(policy) for policy in policies}
-        for rate in rates}
-    for result in results:
-        rate = result.config.scenario.arrival_rate_per_hour
-        table[rate][result.config.policy].results.append(result)
-    return table
+    import warnings
+    warnings.warn(
+        "sweep_rates() is deprecated; build a sweep ExperimentSpec and "
+        "call repro.api.run() instead", DeprecationWarning, stacklevel=2)
+    from repro.api import run as run_spec
+    spec = _sweep_spec(scenario, rates, policies, seeds, cp_fidelity,
+                       horizon, config_kwargs)
+    return run_spec(spec, jobs=jobs).sweep_table()

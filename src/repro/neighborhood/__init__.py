@@ -31,6 +31,7 @@ from repro.neighborhood.coordination import (
 from repro.neighborhood.federation import (
     COORDINATION_MODES,
     NeighborhoodResult,
+    execute_fleet,
     run_neighborhood,
 )
 from repro.neighborhood.fleet import (
@@ -53,6 +54,7 @@ __all__ = [
     "NeighborhoodResult",
     "build_fleet",
     "coordinate_fleet",
+    "execute_fleet",
     "feeder_stats",
     "home_seed",
     "negotiate_offsets",

@@ -60,6 +60,10 @@ class NeighborhoodResult:
     feeder_w: StepSeries
     horizon: float
     coordination: Optional[FeederCoordination] = field(default=None)
+    #: The declarative :class:`~repro.api.spec.ExperimentSpec` this run
+    #: compiled from, when it came through the spec API (``None`` for
+    #: hand-built fleets); exporters embed its hash + canonical JSON.
+    spec: Optional[object] = field(default=None)
 
     @property
     def contributions_w(self) -> list[StepSeries]:
@@ -172,13 +176,19 @@ class NeighborhoodResult:
         return "\n\n".join(parts)
 
 
-def run_neighborhood(fleet: FleetSpec, jobs: int = 1,
-                     until: Optional[float] = None,
-                     mp_context: Optional[str] = None,
-                     coordination: str = "independent",
-                     feeder: Optional[FeederConfig] = None,
-                     ) -> NeighborhoodResult:
+def execute_fleet(fleet: FleetSpec, jobs: int = 1,
+                  until: Optional[float] = None,
+                  mp_context: Optional[str] = None,
+                  coordination: str = "independent",
+                  feeder: Optional[FeederConfig] = None,
+                  spec: Optional[object] = None) -> NeighborhoodResult:
     """Run every home of ``fleet`` (over ``jobs`` workers) and aggregate.
+
+    This is the neighborhood execution primitive the spec API bottoms
+    out in (:func:`repro.api.run.run` compiles the fleet and calls
+    here, threading the originating spec through for provenance);
+    application code should describe neighborhoods declaratively and go
+    through the spec API.
 
     Homes are seeded independently (see
     :func:`~repro.neighborhood.fleet.home_seed`), so the result is
@@ -205,7 +215,32 @@ def run_neighborhood(fleet: FleetSpec, jobs: int = 1,
         plan = coordinate_fleet(fleet, results, horizon, config=feeder)
         return NeighborhoodResult(fleet=fleet, homes=results,
                                   feeder_w=plan.coordinated_w,
-                                  horizon=horizon, coordination=plan)
+                                  horizon=horizon, coordination=plan,
+                                  spec=spec)
     feeder_w = sum_series([result.load_w for result in results])
     return NeighborhoodResult(fleet=fleet, homes=results, feeder_w=feeder_w,
-                              horizon=horizon)
+                              horizon=horizon, spec=spec)
+
+
+def run_neighborhood(fleet: FleetSpec, jobs: int = 1,
+                     until: Optional[float] = None,
+                     mp_context: Optional[str] = None,
+                     coordination: str = "independent",
+                     feeder: Optional[FeederConfig] = None,
+                     ) -> NeighborhoodResult:
+    """Deprecated fleet runner; use :func:`repro.api.run.run`.
+
+    Shim over :func:`execute_fleet`, the same executor a neighborhood
+    :class:`~repro.api.spec.ExperimentSpec` compiles into — results are
+    bit-identical.  Kept because pre-built :class:`FleetSpec` values
+    (the escape hatch for hand-crafted fleets) have no declarative
+    form.
+    """
+    import warnings
+    warnings.warn(
+        "run_neighborhood() is deprecated; build a neighborhood "
+        "ExperimentSpec and call repro.api.run() instead",
+        DeprecationWarning, stacklevel=2)
+    return execute_fleet(fleet, jobs=jobs, until=until,
+                         mp_context=mp_context, coordination=coordination,
+                         feeder=feeder)

@@ -17,6 +17,9 @@ from repro.sim.units import MINUTE
 #: Arrival-rate presets (requests/hour), Figure 2(b)/(c) x-axis.
 PAPER_RATES: dict[str, float] = {"low": 4.0, "moderate": 18.0, "high": 30.0}
 
+#: Arrival-process kinds a :class:`Scenario` can draw requests from.
+ARRIVAL_KINDS: tuple[str, ...] = ("poisson", "batch", "mmpp")
+
 #: The rate used for the Figure 2(a) time series.
 FIG2A_RATE: float = PAPER_RATES["high"]
 
@@ -132,4 +135,17 @@ FLEET_MIXES: dict[str, tuple[tuple[str, float], ...]] = {
     "suburb": (("family", 0.6), ("large", 0.25), ("studio", 0.15)),
     "apartments": (("studio", 0.7), ("family", 0.3)),
     "mixed": (("studio", 1.0), ("family", 1.0), ("large", 1.0)),
+}
+
+#: Every named scenario a declarative
+#: :class:`~repro.api.spec.ScenarioSpec` can start from — the paper's
+#: three rate presets, the beyond-paper stress/burst points and the
+#: neighborhood home archetypes.
+SCENARIO_PRESETS: dict[str, Callable[[], Scenario]] = {
+    "paper-low": lambda: paper_scenario("low"),
+    "paper-moderate": lambda: paper_scenario("moderate"),
+    "paper-high": lambda: paper_scenario("high"),
+    "stress": stress_scenario,
+    "burst": burst_scenario,
+    **HOME_ARCHETYPES,
 }

@@ -13,7 +13,7 @@ from repro.analysis.export import (
     stats_to_dict,
 )
 from repro.analysis.loadstats import load_stats
-from repro.core import HanConfig, run_experiment
+from repro.core import HanConfig, execute_config
 from repro.experiments.registry import REGISTRY, all_experiments, get
 from repro.sim import StepSeries
 from repro.sim.units import MINUTE
@@ -22,7 +22,7 @@ from repro.workloads import paper_scenario
 
 @pytest.fixture(scope="module")
 def result():
-    return run_experiment(
+    return execute_config(
         HanConfig(scenario=paper_scenario("high"), policy="coordinated",
                   cp_fidelity="ideal", seed=1), until=60 * MINUTE)
 
@@ -84,6 +84,58 @@ def test_requests_to_csv(tmp_path, result):
     rows = list(csv.reader(path.open()))
     assert rows[0][0] == "request_id"
     assert len(rows) == 1 + len(result.requests)
+
+
+def test_run_result_json_derives_spec_provenance(tmp_path, result):
+    """Even without an explicit spec, the export stamps provenance."""
+    path = run_result_to_json(result, tmp_path / "run.json")
+    payload = json.loads(path.read_text())
+    assert len(payload["spec"]["hash"]) == 64
+    assert payload["spec"]["schema_version"] == 1
+    # the embedded canonical spec regenerates the same hash
+    from repro.api import ExperimentSpec, spec_hash
+    spec = ExperimentSpec.from_dict(payload["spec"]["canonical"])
+    assert spec_hash(spec) == payload["spec"]["hash"]
+    assert spec.seeds == (result.config.seed,)
+
+
+@pytest.fixture(scope="module")
+def neighborhood_result():
+    from repro.api import (
+        ControlSpec,
+        ExperimentSpec,
+        FleetPlan,
+        ScenarioSpec,
+        run,
+    )
+    spec = ExperimentSpec(
+        name="export-nbhd", kind="neighborhood",
+        scenario=ScenarioSpec(horizon_s=30 * MINUTE),
+        control=ControlSpec(cp_fidelity="ideal"),
+        seeds=(2,), fleet=FleetPlan(homes=2, mix="mixed"))
+    return run(spec)
+
+
+def test_neighborhood_json_embeds_spec_block(tmp_path, neighborhood_result):
+    from repro.analysis.export import neighborhood_to_json
+    path = neighborhood_to_json(neighborhood_result.neighborhood,
+                                tmp_path / "nbhd.json")
+    payload = json.loads(path.read_text())
+    assert payload["spec"]["hash"] == \
+        neighborhood_result.provenance.spec_hash
+    assert payload["spec"]["canonical"]["fleet"]["homes"] == 2
+
+
+def test_neighborhood_csv_carries_spec_hash_column(tmp_path,
+                                                   neighborhood_result):
+    from repro.analysis.export import neighborhood_to_csv
+    path = neighborhood_to_csv(neighborhood_result.neighborhood,
+                               tmp_path / "nbhd.csv")
+    rows = list(csv.reader(path.open()))
+    assert rows[0][-1] == "spec_hash"
+    expected = neighborhood_result.provenance.spec_hash
+    assert all(row[-1] == expected for row in rows[1:])
+    assert len(rows) > 1
 
 
 def test_registry_covers_design_index():

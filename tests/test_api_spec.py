@@ -1,0 +1,243 @@
+"""The declarative spec layer: round trips, validation, hashing."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    ArtefactSpec,
+    ControlSpec,
+    ExperimentSpec,
+    FleetPlan,
+    ScenarioSpec,
+    SpecError,
+    SweepSpec,
+    canonical_json,
+    compile_config,
+    compile_fleet,
+    compile_scenario,
+    spec_from_config,
+    spec_from_scenario,
+    spec_hash,
+    validate,
+)
+from repro.core.system import HanConfig
+from repro.workloads.scenarios import (
+    SCENARIO_PRESETS,
+    Scenario,
+    paper_scenario,
+)
+
+
+def sample_specs() -> list[ExperimentSpec]:
+    return [
+        ExperimentSpec(name="single"),
+        ExperimentSpec(name="sweep", kind="sweep", seeds=(1, 2),
+                       sweep=SweepSpec(rates=(4.0, 30.0))),
+        ExperimentSpec(name="nbhd", kind="neighborhood",
+                       fleet=FleetPlan(homes=3, mix="mixed",
+                                       coordination="feeder")),
+        ExperimentSpec(name="artefact", kind="artefact",
+                       artefact=ArtefactSpec(kind="fig2b",
+                                             params={"seeds": [1, 2]})),
+        ExperimentSpec(
+            name="custom", kind="single",
+            scenario=ScenarioSpec(preset=None, name="weird",
+                                  n_devices=7, device_power_w=1234.5,
+                                  arrival="batch", batch_size=4),
+            control=ControlSpec(policy="centralized", cp_fidelity="ideal",
+                                topology="grid", path_loss_exponent=4.1),
+            seeds=(9,), until_s=600.0),
+    ]
+
+
+@pytest.mark.parametrize("spec", sample_specs(),
+                         ids=lambda s: s.name)
+def test_json_round_trip_lossless(spec):
+    loaded = ExperimentSpec.from_json(spec.to_json())
+    assert loaded == spec
+    assert canonical_json(loaded) == canonical_json(spec)
+    assert spec_hash(loaded) == spec_hash(spec)
+
+
+def test_canonical_json_is_key_sorted_and_dense():
+    text = canonical_json(ExperimentSpec(name="x"))
+    data = json.loads(text)
+    assert list(data) == sorted(data)
+    assert ": " not in text and ", " not in text
+
+
+def test_hash_changes_with_content():
+    a = ExperimentSpec(name="x", seeds=(1,))
+    b = ExperimentSpec(name="x", seeds=(2,))
+    assert spec_hash(a) != spec_hash(b)
+    assert spec_hash(a) == spec_hash(ExperimentSpec(name="x", seeds=(1,)))
+
+
+def test_hash_is_stable_over_json_numeric_types():
+    """1800 and 1800.0 describe the same experiment — same hash."""
+    ints = ExperimentSpec.from_json(
+        '{"name": "x", "kind": "sweep", "until_s": 1800, '
+        '"control": {"cp_period": 2}, '
+        '"sweep": {"rates": [4, 18]}}')
+    floats = ExperimentSpec.from_json(
+        '{"name": "x", "kind": "sweep", "until_s": 1800.0, '
+        '"control": {"cp_period": 2.0}, '
+        '"sweep": {"rates": [4.0, 18.0]}}')
+    assert ints == floats
+    assert canonical_json(ints) == canonical_json(floats)
+    assert spec_hash(ints) == spec_hash(floats)
+    # loaded objects are identical, not merely equal-hashing: every
+    # numeric landed as float
+    assert ints.until_s == 1800.0 and isinstance(ints.until_s, float)
+    assert all(isinstance(rate, float) for rate in ints.sweep.rates)
+    assert isinstance(ints.control.cp_period, float)
+
+
+def test_scenario_spec_round_trip_exact():
+    for maker in SCENARIO_PRESETS.values():
+        scenario = maker()
+        assert compile_scenario(spec_from_scenario(scenario)) == scenario
+
+
+def test_config_round_trip_exact():
+    config = HanConfig(scenario=paper_scenario("low").with_rate(7.5),
+                       policy="centralized", cp_fidelity="ideal",
+                       cp_period=4.0, seed=17, topology_name="line",
+                       refresh_every=9, calibration_rounds=3,
+                       shadowing_sigma_db=1.5, path_loss_exponent=4.2,
+                       ci_derating=0.5, aggregation=3, controller_id=2)
+    spec = spec_from_config(config, until=123.0)
+    assert spec.until_s == 123.0
+    # through JSON and back, then compiled: the identical HanConfig
+    loaded = ExperimentSpec.from_json(spec.to_json())
+    assert compile_config(loaded, seed=17) == config
+
+
+def test_preset_compiles_to_preset_scenario():
+    spec = ScenarioSpec(preset="family", rate_per_hour=99.0)
+    scenario = compile_scenario(spec)
+    assert scenario.arrival_rate_per_hour == 99.0
+    assert scenario.n_devices == SCENARIO_PRESETS["family"]().n_devices
+
+
+def test_presetless_scenario_uses_defaults():
+    scenario = compile_scenario(ScenarioSpec(preset=None, name="bare"))
+    assert scenario == Scenario(name="bare")
+
+
+def test_compile_fleet_matches_build_fleet():
+    from repro.neighborhood import build_fleet
+    spec = ExperimentSpec(name="n", kind="neighborhood", seeds=(5,),
+                          control=ControlSpec(cp_fidelity="ideal"),
+                          fleet=FleetPlan(homes=4, mix="apartments"))
+    assert compile_fleet(spec) == build_fleet(
+        4, mix="apartments", seed=5, cp_fidelity="ideal")
+
+
+@pytest.mark.parametrize("document, path_fragment", [
+    ('{"kind": "single"}', "name"),
+    ('{"name": "x", "kind": "sideways"}', "kind"),
+    ('{"name": "x", "seedz": [1]}', "seedz"),
+    ('{"name": "x", "seeds": []}', "seeds"),
+    ('{"name": "x", "seeds": [1.5]}', "seeds[0]"),
+    ('{"name": "x", "schema_version": 99}', "schema_version"),
+    ('{"name": "x", "scenario": {"preset": "paper-hi"}}',
+     "scenario.preset"),
+    ('{"name": "x", "scenario": {"n_devices": 0}}', "scenario.n_devices"),
+    ('{"name": "x", "scenario": {"arrival": "fractal"}}',
+     "scenario.arrival"),
+    ('{"name": "x", "control": {"policy": "anarchic"}}', "control.policy"),
+    ('{"name": "x", "control": {"cp_fidelity": "perfect"}}',
+     "control.cp_fidelity"),
+    ('{"name": "x", "control": {"topology": "torus"}}',
+     "control.topology"),
+    ('{"name": "x", "kind": "neighborhood"}', "fleet"),
+    ('{"name": "x", "kind": "neighborhood", "fleet": {"mix": "famly"}}',
+     "fleet.mix"),
+    ('{"name": "x", "kind": "neighborhood", '
+     '"fleet": {"coordination": "psychic"}}', "fleet.coordination"),
+    ('{"name": "x", "kind": "sweep", "sweep": {"rates": [-1.0]}}',
+     "sweep.rates[0]"),
+    ('{"name": "x", "kind": "sweep", "sweep": {"policies": []}}',
+     "sweep.policies"),
+    ('{"name": "x", "kind": "artefact", "artefact": {"kind": "fig9"}}',
+     "artefact.kind"),
+    ('{"name": "x", "kind": "artefact", '
+     '"artefact": {"kind": "fig2a", "params": {"sed": 1}}}',
+     "artefact.params.sed"),
+    ('{"name": "x", "fleet": {"homes": 2}}', "fleet"),
+    ('{"name": "x", "until_s": "soon"}', "until_s"),
+    ('{"name": "x", "scenario": {"horizon_s": 1e999}}',
+     "scenario.horizon_s"),
+    ('{"name": "x", "scenario": {"rate_per_hour": NaN}}',
+     "scenario.rate_per_hour"),
+    ('{"name": "x", "until_s": -1e999}', "until_s"),
+    ('{"name": "x", "kind": "neighborhood", "fleet": {"homes": 2}, '
+     '"scenario": {"n_devices": 40}}', "scenario.n_devices"),
+    ('{"name": "x", "kind": "neighborhood", "fleet": {"homes": 2}, '
+     '"scenario": {"rate_per_hour": 9.0}}', "scenario.rate_per_hour"),
+    ('{"name": "x", "kind": "neighborhood", "fleet": {"homes": 2}, '
+     '"seeds": [1, 2]}', "seeds"),
+    ('{"name": "x", "kind": "neighborhood", "fleet": {"homes": 2}, '
+     '"scenario": {"preset": "stress"}}', "scenario.preset"),
+    ('{"name": "x", "kind": "sweep", "sweep": {"rates": [4.0]}, '
+     '"control": {"policy": "centralized"}}', "control.policy"),
+    ('{"name": "x", "kind": "sweep", "sweep": {"rates": [4.0]}, '
+     '"scenario": {"rate_per_hour": 7.0}}', "scenario.rate_per_hour"),
+    ('{"name": "x", "kind": "artefact", '
+     '"artefact": {"kind": "headline"}, "seeds": [9]}', "seeds"),
+    ('{"name": "x", "kind": "artefact", '
+     '"artefact": {"kind": "headline"}, "until_s": 60.0}', "until_s"),
+    ('{"name": "x", "kind": "artefact", '
+     '"artefact": {"kind": "headline"}, '
+     '"control": {"policy": "uncoordinated"}}', "control.policy"),
+    ('{"name": "x", "kind": "artefact", '
+     '"artefact": {"kind": "headline"}, '
+     '"scenario": {"preset": "stress"}}', "scenario.preset"),
+])
+def test_validation_error_paths(document, path_fragment):
+    with pytest.raises(SpecError) as caught:
+        ExperimentSpec.from_json(document)
+    assert str(caught.value).startswith(path_fragment), str(caught.value)
+
+
+def test_invalid_json_is_a_spec_error():
+    with pytest.raises(SpecError, match="invalid JSON"):
+        ExperimentSpec.from_json("{nope")
+
+
+def test_suggestions_name_close_matches():
+    with pytest.raises(SpecError, match="did you mean 'seeds'"):
+        ExperimentSpec.from_json('{"name": "x", "seedz": [1]}')
+
+
+def test_neighborhood_scenario_allows_horizon_only():
+    ExperimentSpec.from_json(
+        '{"name": "x", "kind": "neighborhood", "fleet": {"homes": 2}, '
+        '"scenario": {"horizon_s": 1800.0}}')
+
+
+def test_validate_checks_constructed_trees():
+    spec = ExperimentSpec(name="x", kind="neighborhood",
+                          fleet=FleetPlan(mix="nowhere"))
+    with pytest.raises(SpecError, match="fleet.mix"):
+        validate(spec)
+
+
+def test_specs_are_hashable_including_artefact_kinds():
+    """Specs must work in sets/dict keys (result caches key on them)."""
+    from repro.experiments.registry import all_experiments
+    distinct = {experiment.spec for experiment in all_experiments()}
+    assert len(distinct) == len(all_experiments())
+    assert len({spec if spec.artefact is None else spec.artefact
+                for spec in sample_specs()}) == len(sample_specs())
+
+
+def test_with_artefact_params_merges():
+    spec = ExperimentSpec(name="x", kind="artefact",
+                          artefact=ArtefactSpec(kind="fig2a",
+                                                params={"seed": 2}))
+    merged = spec.with_artefact_params(horizon=60.0)
+    assert merged.artefact.params == {"seed": 2, "horizon": 60.0}
+    assert spec.artefact.params == {"seed": 2}

@@ -189,11 +189,94 @@ def test_neighborhood_bad_input_clean_error(capsys):
     code = main(["neighborhood", "--homes", "0"])
     captured = capsys.readouterr()
     assert code == 2
-    assert "n_homes" in captured.err
+    assert "fleet.homes" in captured.err
     code = main(["neighborhood", "--homes", "2", "--jobs", "0"])
     captured = capsys.readouterr()
     assert code == 2
     assert "jobs" in captured.err
+
+
+def test_run_spec_file(capsys, tmp_path):
+    spec_file = tmp_path / "exp.json"
+    spec_file.write_text('{"name": "spec-demo", "kind": "single", '
+                         '"control": {"cp_fidelity": "ideal"}, '
+                         '"seeds": [1, 2], "until_s": 1800.0}')
+    code, out = run_cli(capsys, "run", "--spec", str(spec_file),
+                        "--jobs", "2")
+    assert code == 0
+    assert "spec-demo" in out
+    assert "spec " in out  # provenance footer with the hash
+
+
+def test_run_spec_file_export_json(capsys, tmp_path):
+    spec_file = tmp_path / "exp.json"
+    spec_file.write_text('{"name": "spec-demo", "kind": "single", '
+                         '"control": {"cp_fidelity": "ideal"}, '
+                         '"seeds": [7], "until_s": 1800.0}')
+    target = tmp_path / "out.json"
+    code, out = run_cli(capsys, "run", "--spec", str(spec_file),
+                        "--export-json", str(target))
+    assert code == 0
+    import json
+    payload = json.loads(target.read_text())
+    assert payload["config"]["seed"] == 7
+    assert payload["spec"]["canonical"]["name"] == "spec-demo"
+    assert len(payload["spec"]["hash"]) == 64
+
+
+def test_run_spec_file_sweep_exports_every_cell(capsys, tmp_path):
+    spec_file = tmp_path / "sweep.json"
+    spec_file.write_text(
+        '{"name": "sweep-demo", "kind": "sweep", '
+        '"scenario": {"preset": "paper-low"}, '
+        '"control": {"cp_fidelity": "ideal"}, "seeds": [1, 2], '
+        '"until_s": 1800.0, "sweep": {"rates": [4.0, 18.0]}}')
+    target = tmp_path / "cells.json"
+    code, out = run_cli(capsys, "run", "--spec", str(spec_file),
+                        "--export-json", str(target))
+    assert code == 0
+    import json
+    written = sorted(tmp_path.glob("cells.*.json"))
+    assert len(written) == 2 * 2 * 2  # rates x policies x seeds
+    for path in written:
+        payload = json.loads(path.read_text())
+        # each cell's provenance is the single-run spec for that cell
+        canonical = payload["spec"]["canonical"]
+        assert canonical["kind"] == "single"
+        assert canonical["seeds"] == [payload["config"]["seed"]]
+        assert canonical["scenario"]["rate_per_hour"] == \
+            payload["config"]["arrival_rate_per_hour"]
+
+
+def test_run_spec_file_neighborhood(capsys, tmp_path):
+    spec_file = tmp_path / "nbhd.json"
+    spec_file.write_text(
+        '{"name": "nbhd-demo", "kind": "neighborhood", '
+        '"scenario": {"horizon_s": 1800.0}, '
+        '"control": {"cp_fidelity": "ideal"}, "seeds": [3], '
+        '"fleet": {"homes": 2, "mix": "mixed"}}')
+    code, out = run_cli(capsys, "run", "--spec", str(spec_file))
+    assert code == 0
+    assert "Feeder aggregate" in out
+
+
+def test_spec_show_round_trips(capsys):
+    code, out = run_cli(capsys, "spec", "show", "HEADLINE")
+    assert code == 0
+    import json
+
+    from repro.api import ExperimentSpec
+    from repro.experiments.registry import get
+    assert ExperimentSpec.from_dict(json.loads(out)) == get("HEADLINE").spec
+
+
+def test_spec_dump_all_writes_every_id(capsys, tmp_path):
+    code, out = run_cli(capsys, "spec", "dump", "--all", "--out",
+                        str(tmp_path / "specs"))
+    assert code == 0
+    from repro.experiments.registry import REGISTRY
+    written = {p.stem for p in (tmp_path / "specs").glob("*.json")}
+    assert written == set(REGISTRY)
 
 
 def test_examples_are_importable():

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import HanConfig, HanSystem, make_topology, run_experiment
+from repro.core import HanConfig, HanSystem, execute_config, make_topology
 from repro.sim.units import MINUTE
 from repro.workloads import paper_scenario
 
@@ -24,7 +24,7 @@ def test_config_validation():
 @pytest.mark.parametrize("policy", ["coordinated", "uncoordinated",
                                     "centralized"])
 def test_policies_run_with_ideal_cp(policy):
-    result = run_experiment(config(policy=policy), until=SHORT)
+    result = execute_config(config(policy=policy), until=SHORT)
     assert result.load_w.at(0.0) == 0.0
     assert len(result.requests) > 0
     stats = result.stats(end=SHORT)
@@ -33,7 +33,7 @@ def test_policies_run_with_ideal_cp(policy):
 
 @pytest.mark.parametrize("policy", ["coordinated", "uncoordinated"])
 def test_policies_run_with_sampled_cp(policy):
-    result = run_experiment(
+    result = execute_config(
         config(policy=policy, fidelity="round", calibration_rounds=3),
         until=SHORT)
     assert result.cp_stats is not None
@@ -43,14 +43,14 @@ def test_policies_run_with_sampled_cp(policy):
 
 
 def test_coordinated_runs_with_slot_cp():
-    result = run_experiment(config(fidelity="slot"), until=8 * MINUTE)
+    result = execute_config(config(fidelity="slot"), until=8 * MINUTE)
     assert result.st_energy is not None
     assert all(m.radio_on_time > 0 for m in result.st_energy.values())
     assert result.st_energy_estimate_j() > 0.0
 
 
 def test_centralized_runs_over_at_stack():
-    result = run_experiment(
+    result = execute_config(
         config(policy="centralized", fidelity="round"), until=SHORT)
     assert result.at_stats is not None
     assert result.at_stats.reports_sent > 0
@@ -58,31 +58,31 @@ def test_centralized_runs_over_at_stack():
 
 
 def test_st_energy_estimate_round_fidelity():
-    result = run_experiment(
+    result = execute_config(
         config(fidelity="round", calibration_rounds=3), until=SHORT)
     estimate = result.st_energy_estimate_j()
     assert estimate is not None and estimate > 0.0
 
 
 def test_waiting_times_within_guarantee():
-    result = run_experiment(config(), until=SHORT)
+    result = execute_config(config(), until=SHORT)
     spec_window = paper_scenario("high").max_dcp
     for wait in result.waiting_times():
         assert 0.0 <= wait <= spec_window + 2.0  # + one CP period
 
 
 def test_same_seed_reproducible():
-    a = run_experiment(config(), until=SHORT)
-    b = run_experiment(config(), until=SHORT)
+    a = execute_config(config(), until=SHORT)
+    b = execute_config(config(), until=SHORT)
     assert list(a.load_w) == list(b.load_w)
     assert len(a.requests) == len(b.requests)
 
 
 def test_different_seeds_differ():
-    a = run_experiment(config(), until=SHORT)
+    a = execute_config(config(), until=SHORT)
     b_config = HanConfig(scenario=paper_scenario("high"), seed=99,
                          policy="coordinated", cp_fidelity="ideal")
-    b = run_experiment(b_config, until=SHORT)
+    b = execute_config(b_config, until=SHORT)
     assert [r.arrival_time for r in a.requests] != \
         [r.arrival_time for r in b.requests]
 

@@ -19,7 +19,7 @@ from repro.neighborhood import (
     negotiate_offsets,
     phase_envelope,
     rotate_series,
-    run_neighborhood,
+    execute_fleet,
 )
 from repro.sim.monitor import StepSeries
 from repro.sim.units import MINUTE
@@ -42,7 +42,7 @@ def locked_fleet():
 @pytest.fixture(scope="module")
 def coordinated():
     """One coordinated run of the locked fleet, shared by every test."""
-    return run_neighborhood(locked_fleet(), jobs=1, coordination="feeder")
+    return execute_fleet(locked_fleet(), jobs=1, coordination="feeder")
 
 
 # -- rotation algebra ---------------------------------------------------------
@@ -193,7 +193,7 @@ def test_offsets_lie_inside_the_epoch(coordinated):
 
 def test_homes_are_untouched_by_coordination(coordinated):
     """Home runs are bit-identical with and without the feeder plane."""
-    independent = run_neighborhood(locked_fleet(), jobs=1)
+    independent = execute_fleet(locked_fleet(), jobs=1)
     for a, b in zip(independent.homes, coordinated.homes):
         assert a.load_w.times == b.load_w.times
         assert a.load_w.values == b.load_w.values
@@ -209,7 +209,7 @@ def test_homes_are_untouched_by_coordination(coordinated):
 
 
 def test_coordinated_run_bit_identical_1_vs_n_workers(coordinated):
-    fanned = run_neighborhood(locked_fleet(), jobs=3,
+    fanned = execute_fleet(locked_fleet(), jobs=3,
                               coordination="feeder")
     assert fanned.coordination.offsets_s \
         == coordinated.coordination.offsets_s
@@ -242,13 +242,13 @@ def test_diversity_uplift_matches_golden(coordinated):
 
 def test_unknown_coordination_mode_rejected():
     with pytest.raises(ValueError, match="coordination must be one of"):
-        run_neighborhood(locked_fleet(), coordination="bogus")
+        execute_fleet(locked_fleet(), coordination="bogus")
 
 
 def test_single_home_fleet_is_a_noop():
     fleet = build_fleet(1, mix="suburb", seed=3, cp_fidelity="ideal",
                         horizon=HORIZON)
-    result = run_neighborhood(fleet, coordination="feeder")
+    result = execute_fleet(fleet, coordination="feeder")
     plan = result.coordination
     assert plan.offsets_s == (0.0,)
     assert not plan.applied

@@ -9,7 +9,7 @@ needs state to arrive within a couple of 2 s rounds — far finer than the
 
 import pytest
 
-from repro.core import HanConfig, run_experiment
+from repro.core import HanConfig, execute_config
 from repro.sim.units import MINUTE
 from repro.workloads import paper_scenario
 
@@ -23,7 +23,7 @@ def results():
         config = HanConfig(scenario=paper_scenario("high"),
                            policy="coordinated", cp_fidelity=fidelity,
                            seed=7, calibration_rounds=3)
-        outcome[fidelity] = run_experiment(config, until=HORIZON)
+        outcome[fidelity] = execute_config(config, until=HORIZON)
     return outcome
 
 

@@ -6,7 +6,7 @@ every policy, fidelity and seed — not just on average.
 
 import pytest
 
-from repro.core import HanConfig, HanSystem, run_experiment
+from repro.core import HanConfig, HanSystem, execute_config
 from repro.sim.units import MINUTE
 from repro.workloads import Scenario, paper_scenario
 

@@ -17,7 +17,7 @@ from repro.neighborhood import (
     FleetSpec,
     build_fleet,
     home_seed,
-    run_neighborhood,
+    execute_fleet,
     sum_series,
 )
 from repro.sim.monitor import StepSeries
@@ -94,7 +94,7 @@ def test_sum_series_exact():
 
 def test_feeder_equals_sum_of_member_homes():
     """At every step event — and between them — feeder == Σ homes."""
-    result = run_neighborhood(small_fleet(), jobs=1)
+    result = execute_fleet(small_fleet(), jobs=1)
     probe_times = list(result.feeder_w.times)
     probe_times += [t + 7.5 for t in probe_times[:200]]
     for t in probe_times:
@@ -103,7 +103,7 @@ def test_feeder_equals_sum_of_member_homes():
 
 
 def test_feeder_stats_diversity_bounds():
-    result = run_neighborhood(small_fleet(), jobs=1)
+    result = execute_fleet(small_fleet(), jobs=1)
     stats = result.feeder_stats()
     assert stats.n_homes == 4
     assert stats.coincident_peak_kw == pytest.approx(stats.feeder.peak_kw)
@@ -120,7 +120,7 @@ def test_fleet_wide_duty_cycle_invariants(fleet_seed):
     """For any fleet: closed bursts >= minDCD, and while a device serves a
     request it executes at least one burst per maxDCP window."""
     fleet = small_fleet(seed=fleet_seed, n=5)
-    result = run_neighborhood(fleet, jobs=1)
+    result = execute_fleet(fleet, jobs=1)
     for spec, home in zip(fleet.homes, result.homes):
         scenario = spec.scenario
         assert home.bursts, scenario.name
@@ -149,7 +149,7 @@ def test_fleet_wide_duty_cycle_invariants(fleet_seed):
 
 
 def test_admitted_requests_complete_or_stay_open():
-    result = run_neighborhood(small_fleet(seed=31), jobs=1)
+    result = execute_fleet(small_fleet(seed=31), jobs=1)
     for home in result.homes:
         for request in home.requests:
             if request.completed_at is None:
@@ -162,8 +162,8 @@ def test_admitted_requests_complete_or_stay_open():
 
 def test_identical_seed_bit_identical_1_vs_n_workers():
     fleet = small_fleet(seed=9, n=5)
-    serial = run_neighborhood(fleet, jobs=1)
-    fanned = run_neighborhood(fleet, jobs=3)
+    serial = execute_fleet(fleet, jobs=1)
+    fanned = execute_fleet(fleet, jobs=3)
     assert serial.feeder_w.times == fanned.feeder_w.times
     assert serial.feeder_w.values == fanned.feeder_w.values
     for a, b in zip(serial.homes, fanned.homes):
@@ -199,12 +199,12 @@ def poisoned_fleet(index=2, n=4):
 
 def test_worker_failure_names_the_failing_home():
     with pytest.raises(WorkerFailure, match="home002"):
-        run_neighborhood(poisoned_fleet(index=2), jobs=2)
+        execute_fleet(poisoned_fleet(index=2), jobs=2)
 
 
 def test_worker_failure_carries_traceback_detail():
     try:
-        run_neighborhood(poisoned_fleet(index=1), jobs=1)
+        execute_fleet(poisoned_fleet(index=1), jobs=1)
     except WorkerFailure as failure:
         assert failure.name.startswith("home001-")
         assert "bogus" in failure.detail

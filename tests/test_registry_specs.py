@@ -1,0 +1,76 @@
+"""Every REGISTRY experiment is expressible — and runnable — as a spec.
+
+The acceptance lock of the spec redesign: for every registry id,
+``spec → JSON → spec → run`` reproduces the artefact the entry's own
+``regenerate`` callable produces, bit-identically (same seeds, same
+rendered text).  The expensive generators run with reduced parameters
+(short horizons, single seeds, ideal CP where the generator allows it) —
+merged into the spec *before* the JSON round trip, so the serialized
+document is exactly what executes.
+"""
+
+import json
+
+import pytest
+
+from repro.api import ExperimentSpec, run, spec_hash, validate
+from repro.experiments.registry import REGISTRY, all_experiments, get
+from repro.sim.units import MINUTE
+
+SHORT = 60 * MINUTE
+
+#: Reduced-cost parameters per registry id (same seeds on both sides).
+FAST_PARAMS = {
+    "FIG2A": {"seed": 1, "cp_fidelity": "ideal", "horizon": SHORT},
+    "FIG2B": {"seeds": [1], "cp_fidelity": "ideal", "rates": [30.0]},
+    "FIG2C": {"seeds": [1], "cp_fidelity": "ideal", "rates": [30.0]},
+    "HEADLINE": {"seeds": [1], "cp_fidelity": "ideal"},
+    "FIG1": {"rounds": 3, "seed": 1},
+    "ABL-CP-PERIOD": {"periods": [2.0], "seeds": [1], "horizon": SHORT},
+    "ABL-LOSS": {"exponents": [3.5], "seeds": [1], "horizon": SHORT},
+    "ABL-SCALE": {"device_counts": [10], "seeds": [1], "horizon": SHORT},
+    "ABL-SLOTS": {"specs": [[15, 30]], "seeds": [1], "horizon": SHORT},
+    "ABL-VARIANTS": {"seeds": [1], "horizon": SHORT},
+    "NBHD-COORD": {"n_homes": [2], "mixes": ["mixed"],
+                   "cp_fidelity": "ideal", "horizon": 45 * MINUTE},
+    "ABL-ST-VS-AT": {"seed": 1, "report_minutes": 5.0},
+    "ABL-SPOF": {"fail_at": 30 * MINUTE, "seed": 3,
+                 "horizon": 90 * MINUTE},
+}
+
+
+def test_every_registry_entry_has_a_spec_and_expected_artefact():
+    from pathlib import Path
+    root = Path(__file__).parent.parent
+    for experiment in all_experiments():
+        assert experiment.spec is not None, experiment.exp_id
+        assert experiment.spec.kind == "artefact"
+        assert experiment.spec.name == experiment.exp_id
+        validate(experiment.spec)
+        assert experiment.artefact_path, experiment.exp_id
+        assert (root / experiment.artefact_path).exists(), \
+            experiment.artefact_path
+
+
+def test_fast_params_cover_the_registry():
+    assert set(FAST_PARAMS) == set(REGISTRY)
+
+
+@pytest.mark.parametrize("exp_id", sorted(REGISTRY))
+def test_spec_json_round_trip_reproduces_artefact(exp_id):
+    experiment = get(exp_id)
+    fast = experiment.spec.with_artefact_params(**FAST_PARAMS[exp_id])
+
+    # spec → JSON → spec: lossless, hash-stable
+    document = fast.to_json()
+    loaded = ExperimentSpec.from_json(document)
+    assert loaded == fast
+    assert spec_hash(loaded) == spec_hash(fast)
+
+    # spec → run: bit-identical to the entry's direct generator
+    via_spec = run(loaded).artefact
+    direct = experiment.regenerate(**json.loads(document)
+                                   ["artefact"]["params"])
+    assert via_spec.text == direct.text
+    assert getattr(via_spec, "figure_id", None) == \
+        getattr(direct, "figure_id", None)

@@ -42,6 +42,10 @@ DOC_FILES = [REPO_ROOT / "README.md",
 #: Modules whose public API the docs reference; all of it must be
 #: documented (docs/architecture.md, docs/coordination.md).
 API_MODULES = [
+    "repro.api.compile",
+    "repro.api.run",
+    "repro.api.spec",
+    "repro.api.validate",
     "repro.core.coordinator",
     "repro.experiments.runner",
     "repro.neighborhood.aggregate",

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""The CI spec-roundtrip job: every registry entry survives JSON intact.
+
+For each experiment in the registry this tool
+
+1. dumps its declarative spec to JSON via the CLI path
+   (``repro spec dump --all``),
+2. re-loads the file through ``ExperimentSpec.from_json`` (which
+   re-validates it against the schema), and
+3. diffs the re-serialized canonical JSON — and the spec hash — against
+   the original in-memory spec.
+
+Any drift between the registry and the serialized form (a field added
+without schema handling, a validator rejecting what the code emits, a
+hash instability) fails loudly here before it can corrupt stored specs.
+
+Usage::
+
+    python tools/check_specs.py [--out DIR]
+
+``--out`` keeps the dumped JSON files (default: a temp directory).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", metavar="DIR", default=None,
+                        help="directory for the dumped specs "
+                             "(default: temporary)")
+    args = parser.parse_args(argv)
+
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.api import ExperimentSpec, canonical_json, spec_hash
+    from repro.cli import main as cli_main
+    from repro.experiments.registry import all_experiments
+
+    if args.out is not None:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        cleanup = None
+    else:
+        cleanup = tempfile.TemporaryDirectory(prefix="repro-specs-")
+        out_dir = Path(cleanup.name)
+
+    code = cli_main(["spec", "dump", "--all", "--out", str(out_dir)])
+    if code != 0:
+        print(f"FAIL: `repro spec dump --all` exited {code}")
+        return 1
+
+    failures = 0
+    for experiment in all_experiments():
+        exp_id = experiment.exp_id
+        path = out_dir / f"{exp_id}.json"
+        if not path.exists():
+            print(f"FAIL: {exp_id}: dump wrote no {path.name}")
+            failures += 1
+            continue
+        try:
+            loaded = ExperimentSpec.from_json(path.read_text())
+        except Exception as error:
+            print(f"FAIL: {exp_id}: re-load/validate failed: {error}")
+            failures += 1
+            continue
+        original = experiment.spec
+        if canonical_json(loaded) != canonical_json(original):
+            print(f"FAIL: {exp_id}: canonical JSON drifted through "
+                  f"the round trip")
+            print(f"  original: {canonical_json(original)}")
+            print(f"  reloaded: {canonical_json(loaded)}")
+            failures += 1
+            continue
+        if spec_hash(loaded) != spec_hash(original):
+            print(f"FAIL: {exp_id}: spec hash unstable")
+            failures += 1
+            continue
+        print(f"  ok: {exp_id} ({spec_hash(loaded)[:12]})")
+
+    if cleanup is not None:
+        cleanup.cleanup()
+    if failures:
+        print(f"\n{failures} spec round-trip check(s) failed")
+        return 1
+    print(f"\nall {len(all_experiments())} registry specs round-trip "
+          f"cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
