@@ -28,7 +28,7 @@ from repro.core import (
 )
 from repro.workloads import PAPER_RATES, Scenario, paper_scenario
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "HanConfig",

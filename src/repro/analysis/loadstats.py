@@ -122,18 +122,22 @@ def coefficient_of_variation(series_w: StepSeries, start: float,
 
 def ramp_events(series_w: StepSeries, start: float, end: float,
                 threshold_w: float) -> int:
-    """Count upward jumps exceeding ``threshold_w`` — "sudden rises"."""
-    count = 0
-    previous = series_w.at(start)
-    for time, value in series_w:
-        if time < start or time >= end:
-            if time >= end:
-                break
-            continue
-        if value - previous > threshold_w:
-            count += 1
-        previous = value
-    return count
+    """Count upward jumps exceeding ``threshold_w`` — "sudden rises".
+
+    Vectorized over the series' cached arrays; jumps are the same
+    consecutive-record differences the scalar walk produced (records
+    before ``start`` collapse into the ``at(start)`` baseline).
+    """
+    times, values = series_w._data()
+    lo = int(np.searchsorted(times, start, side="left"))
+    hi = int(np.searchsorted(times, end, side="left"))
+    if hi <= lo:
+        return 0
+    stepped = values[lo:hi]
+    previous = np.empty_like(stepped)
+    previous[0] = series_w.at(start)
+    previous[1:] = stepped[:-1]
+    return int(((stepped - previous) > threshold_w).sum())
 
 
 def peak_to_average_ratio(stats: LoadStats) -> float:

@@ -34,6 +34,7 @@ See ``docs/experiment-spec.md`` for the full schema and the migration
 table from the legacy call sites (which live on as deprecation shims).
 """
 
+from repro.api.cache import CacheEntry, ResultCache, resolve_cache
 from repro.api.compile import (
     ARTEFACTS,
     compile_config,
@@ -62,12 +63,14 @@ from repro.api.validate import SpecError, validate, validate_data
 __all__ = [
     "ARTEFACTS",
     "ArtefactSpec",
+    "CacheEntry",
     "ControlSpec",
     "ExperimentSpec",
     "FleetPlan",
     "KINDS",
     "Provenance",
     "Result",
+    "ResultCache",
     "SCHEMA_VERSION",
     "ScenarioSpec",
     "SpecError",
@@ -79,6 +82,7 @@ __all__ = [
     "compile_scenario",
     "provenance_of",
     "resolve_artefact",
+    "resolve_cache",
     "run",
     "spec_from_config",
     "spec_from_scenario",

@@ -16,7 +16,7 @@ named streams, so ``run(spec)`` is bit-identical for any ``jobs`` count
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.analysis.loadstats import LoadStats
 from repro.api.compile import (
@@ -27,6 +27,9 @@ from repro.api.compile import (
 from repro.api.spec import ExperimentSpec, canonical_json, spec_hash
 from repro.api.validate import validate
 from repro.core.system import RunResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.cache import CacheLike
 
 
 @dataclass(frozen=True)
@@ -150,17 +153,42 @@ def provenance_of(spec: ExperimentSpec) -> Provenance:
 
 
 def run(spec: ExperimentSpec, jobs: int = 1,
-        mp_context: Optional[str] = None) -> Result:
+        mp_context: Optional[str] = None,
+        cache: "CacheLike" = None) -> Result:
     """Validate, compile and execute a spec; the API's only verb.
 
     ``jobs`` fans independent units (seed cells, sweep cells,
-    neighborhood homes) over worker processes; results are bit-identical
-    for any value.  Artefact kinds forward ``jobs`` to generators that
-    accept it.
+    neighborhood homes) over the persistent worker pool
+    (:func:`repro.experiments.pool.shared_pool` — spawned on first use,
+    reused by every later call with the same shape); results are
+    bit-identical for any value.  Artefact kinds forward ``jobs`` to
+    generators that accept it.
+
+    ``cache`` memoizes the whole call on ``(spec_hash, code_version)``
+    (see :mod:`repro.api.cache`): ``True`` uses the default on-disk
+    store, a :class:`~repro.api.cache.ResultCache` uses that store, and
+    ``None``/``False`` (default) disables caching.  A hit returns the
+    stored result without executing anything; because runs are
+    bit-deterministic, hits and fresh runs are indistinguishable.
     """
-    from repro.experiments.runner import ParallelRunner
+    from repro.api.cache import resolve_cache
     validate(spec)
     provenance = provenance_of(spec)
+    store = resolve_cache(cache)
+    if store is not None:
+        hit = store.get(spec, spec_digest=provenance.spec_hash)
+        if hit is not None:
+            return hit
+    result = _execute(spec, provenance, jobs, mp_context)
+    if store is not None:
+        store.put(spec, result, spec_digest=provenance.spec_hash)
+    return result
+
+
+def _execute(spec: ExperimentSpec, provenance: Provenance, jobs: int,
+             mp_context: Optional[str]) -> Result:
+    """Run a validated spec (the cache-miss path of :func:`run`)."""
+    from repro.experiments.runner import ParallelRunner
     if spec.kind in ("single", "sweep"):
         runner = ParallelRunner(jobs=jobs, mp_context=mp_context)
         runs = runner.run(compile_run_specs(spec))

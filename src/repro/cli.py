@@ -23,6 +23,9 @@ Usage::
     python -m repro neighborhood --homes 20 --jobs 4 --mix suburb
     python -m repro neighborhood --homes 20 --coordinate   # feeder CP
     python -m repro regen FIG2A HEADLINE --jobs 2
+    python -m repro regen --no-cache               # force re-simulation
+    python -m repro cache ls                       # inspect result cache
+    python -m repro cache clear
 """
 
 from __future__ import annotations
@@ -96,6 +99,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--spec", metavar="PATH", default=None,
                    help="run a serialized ExperimentSpec (JSON); other "
                         "experiment flags are ignored")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the on-disk result cache (--spec runs "
+                        "are cached by spec hash by default)")
     p.add_argument("--export-json", metavar="PATH", default=None,
                    help="write the full run result as JSON")
 
@@ -142,6 +148,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("ids", nargs="*",
                    help="experiment ids (default: all; see `repro list`)")
     p.add_argument("--jobs", type=int, default=1)
+    p.add_argument("--no-cache", action="store_true",
+                   help="re-simulate even when a cached result exists "
+                        "for the same spec hash and code version")
+
+    p = sub.add_parser("cache",
+                       help="inspect or clear the on-disk result cache")
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser("ls", help="list cached results (LRU order)")
+    cache_sub.add_parser("clear", help="delete every cached result")
 
     sub.add_parser("list", help="list every reproducible experiment")
     return parser
@@ -224,7 +239,7 @@ def _run_spec_file(args: argparse.Namespace) -> int:
     """``repro run --spec path.json``: the fully declarative path."""
     _check_jobs(args.jobs)
     spec = _load_spec(args.spec)
-    result = run_spec(spec, jobs=args.jobs)
+    result = run_spec(spec, jobs=args.jobs, cache=not args.no_cache)
     print(result.render())
     if args.export_json:
         if result.runs:
@@ -382,11 +397,15 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(f"series written to {path}")
     elif args.command == "regen":
         _check_jobs(args.jobs)
+        from repro.api.cache import ResultCache
+        cache = None if args.no_cache else ResultCache()
         for exp_id, artefact in _checked(run_registry, args.ids or None,
-                                         jobs=args.jobs):
+                                         jobs=args.jobs, cache=cache):
             text = getattr(artefact, "text", None)
             print(f"== {exp_id} ==")
             print(text if text is not None else repr(artefact))
+    elif args.command == "cache":
+        return _dispatch_cache(args)
     elif args.command == "list":
         from repro.experiments.registry import all_experiments
         rows = [[e.exp_id, e.paper_artefact, e.description]
@@ -394,6 +413,29 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(format_table(["id", "paper artefact", "description"], rows,
                            title="Reproducible experiments "
                                  "(see DESIGN.md / EXPERIMENTS.md)"))
+    return 0
+
+
+def _dispatch_cache(args: argparse.Namespace) -> int:
+    """The ``repro cache ls/clear`` family."""
+    from repro.api.cache import ResultCache
+    cache = ResultCache()
+    if args.cache_command == "ls":
+        entries = cache.entries()
+        if not entries:
+            print(f"cache empty ({cache.root})")
+            return 0
+        rows = [[e.name, e.kind, e.spec_hash[:12], e.code_version,
+                 f"{e.size_bytes / 1e3:.1f} kB"] for e in entries]
+        total = sum(e.size_bytes for e in entries)
+        print(format_table(
+            ["name", "kind", "spec", "code", "size"], rows,
+            title=f"Result cache at {cache.root} "
+                  f"({len(entries)} entries, {total / 1e6:.1f} MB of "
+                  f"{cache.max_bytes / 1e6:.0f} MB)"))
+    elif args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {cache.root}")
     return 0
 
 

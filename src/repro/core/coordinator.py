@@ -47,6 +47,9 @@ class DeviceAgentBase:
         self.requests: dict[int, UserRequest] = {}
         #: FIFO of [request_id, cycles_left] attributing bursts to requests
         self._burst_queue: deque[list[int]] = deque()
+        #: optional observer (the owning system) told when this DI turns
+        #: dirty — lets CP rounds skip idle agents without calling them
+        self._on_dirty = None
         self._dirty = True
         self._wake = None
         self.view.merge_item(self.item())
@@ -69,9 +72,20 @@ class DeviceAgentBase:
         """Status plus own unadmitted announcements (subclass hook)."""
         return CpItem(self.status())
 
+    def _mark_dirty(self) -> None:
+        """Flag a fresh shareable state (and tell the observer, if any)."""
+        self._dirty = True
+        if self._on_dirty is not None:
+            self._on_dirty(self.device_id)
+
+    @property
+    def cp_pending(self) -> bool:
+        """True when the next non-healing ``cp_payload`` would share."""
+        return self._dirty
+
     def _bump_status(self) -> None:
         self._version += 1
-        self._dirty = True
+        self._mark_dirty()
         self.view.merge_item(self.item())
 
     @property
@@ -240,9 +254,14 @@ class CoordinatedAgent(DeviceAgentBase):
                                               power_w=self.device.power_w)
         self._announcements.append(announcement)
         self.view.merge_item(CpItem(self.status(), (announcement,)))
-        self._dirty = True
+        self._mark_dirty()
 
     # -- CP application interface ----------------------------------------------------
+
+    @property
+    def cp_pending(self) -> bool:
+        """Dirty, or still announcing unadmitted requests every round."""
+        return self._dirty or bool(self._announcements)
 
     def cp_payload(self, node: int, round_index: int) -> Optional[CpItem]:
         """This DI's :class:`~repro.core.state.CpItem` for the round.

@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from repro.core.state import DeviceStatus, SharedView
 from repro.han.dutycycle import DutyCycleGrid, DutyCycleSpec
 from repro.han.requests import RequestAnnouncement
@@ -82,6 +84,27 @@ class SchedulerConfig:
         return DutyCycleGrid(self.spec, self.grid_origin)
 
 
+#: Exact-key memo of recent :func:`plan_admissions` results.  Planning is
+#: a pure function, and within one CP round every converged DI plans the
+#: *same* ``(view content, config, now)`` — decentralized-yet-coherent by
+#: design — so N identical per-DI planning passes collapse into one
+#: computation plus N-1 lookups.  Keys are full value tuples (frozen
+#: dataclasses), never bare hashes, so a hash collision degrades to a
+#: dict probe, not a wrong plan.
+_PLAN_MEMO: dict[tuple, list[AdmissionDecision]] = {}
+_PLAN_MEMO_MAX = 32
+
+
+def _plan_memo_key(view: SharedView, config: SchedulerConfig,
+                   now: float) -> tuple:
+    """Everything planning reads, as one hashable value."""
+    return (tuple(sorted(view.statuses.items())),
+            tuple(sorted(view.pending.items())),
+            config.spec, config.mode, config.grid_origin,
+            config.balance_by_power, config.deferral, config.epsilon,
+            now)
+
+
 def plan_admissions(view: SharedView, config: SchedulerConfig,
                     now: float) -> list[AdmissionDecision]:
     """Decide placements for every pending request in ``view``.
@@ -90,10 +113,23 @@ def plan_admissions(view: SharedView, config: SchedulerConfig,
     the same CP round derive the same plan.  Requests are processed in the
     paper's one-by-one ``(arrival, id)`` order; requests for already-active
     devices extend demand without moving the claim.
+
+    Memoized on the exact view content (see ``_PLAN_MEMO``): converged
+    DIs re-planning the same round share one computation, bit-identical
+    by purity.
     """
+    key = _plan_memo_key(view, config, now)
+    cached = _PLAN_MEMO.get(key)
+    if cached is not None:
+        return list(cached)
     if config.mode == "grid":
-        return _plan_grid(view, config, now)
-    return _plan_stagger(view, config, now)
+        decisions = _plan_grid(view, config, now)
+    else:
+        decisions = _plan_stagger(view, config, now)
+    if len(_PLAN_MEMO) >= _PLAN_MEMO_MAX:
+        _PLAN_MEMO.clear()
+    _PLAN_MEMO[key] = decisions
+    return list(decisions)
 
 
 # ---------------------------------------------------------------------------
@@ -148,6 +184,27 @@ def _window_peak(intervals: list[tuple[float, float, float]],
     return peak
 
 
+def _window_peaks(starts: np.ndarray, ends: np.ndarray, weights: np.ndarray,
+                  candidates: np.ndarray, duration: float) -> np.ndarray:
+    """:func:`_window_peak` for every candidate start, in one batch.
+
+    Bit-compatible with the scalar sweep: per candidate the same clipped
+    ``(time, ±weight)`` events are sorted by the same ``(time, delta)``
+    key, and ``np.cumsum`` accumulates the running level in exactly the
+    scalar iteration order.  Intervals that miss a window contribute
+    zero-weight no-op events (adding ±0.0 leaves every IEEE-754 level
+    bit-unchanged), which lets all windows share one rectangular batch.
+    """
+    lo = np.maximum(starts[None, :], candidates[:, None])
+    hi = np.minimum(ends[None, :], (candidates + duration)[:, None])
+    live = (lo < hi) * weights[None, :]
+    times = np.concatenate([lo, hi], axis=1)
+    deltas = np.concatenate([live, -live], axis=1)
+    order = np.lexsort((deltas, times), axis=1)
+    levels = np.cumsum(np.take_along_axis(deltas, order, axis=1), axis=1)
+    return np.maximum(levels.max(axis=1), 0.0)
+
+
 def _pick_start(intervals: list[tuple[float, float, float]],
                 config: SchedulerConfig, now: float) -> float:
     """Least-overlapping start in ``[now, now + latitude]``.
@@ -163,29 +220,35 @@ def _pick_start(intervals: list[tuple[float, float, float]],
        total load moving in *single-device* steps (the paper's "load
        increases in small steps"),
     3. earliest ``u`` ("one by one": run as soon as the lull allows).
+
+    Vectorized (every candidate window evaluated in one NumPy batch, see
+    :func:`_window_peaks`) but bit-identical to the scalar definition:
+    candidate enumeration, peak arithmetic and tie-breaking reproduce the
+    same floats in the same order.
     """
+    if not intervals:
+        return now  # every window is empty; the earliest candidate wins
     spec = config.spec
     latest = now + config.start_latitude
-    breakpoints = {now, latest}
-    for start, end, _w in intervals:
-        for edge in (start, end, start - spec.min_dcd, end - spec.min_dcd):
-            if now < edge < latest:
-                breakpoints.add(edge)
-    ordered = sorted(breakpoints)
-    candidates = set(ordered)
-    for left, right in zip(ordered, ordered[1:]):
-        candidates.add((left + right) / 2.0)
-    existing_starts = {start for start, _end, _w in intervals}
+    table = np.asarray(intervals, dtype=float)
+    starts, ends, weights = table[:, 0], table[:, 1], table[:, 2]
+    edges = np.concatenate([starts, ends,
+                            starts - spec.min_dcd, ends - spec.min_dcd])
+    edges = edges[(now < edges) & (edges < latest)]
+    ordered = np.unique(np.concatenate([edges, [now, latest]]))
+    midpoints = (ordered[:-1] + ordered[1:]) / 2.0
+    candidates = np.unique(np.concatenate([ordered, midpoints]))
+    peaks = _window_peaks(starts, ends, weights, candidates, spec.min_dcd)
+    collisions = (np.abs(candidates[:, None] - starts[None, :])
+                  < config.epsilon).any(axis=1)
     best_u = now
     best_key: Optional[tuple[float, int, float]] = None
-    for u in sorted(candidates):
-        collides = int(any(abs(u - s) < config.epsilon
-                           for s in existing_starts))
-        key = (_window_peak(intervals, u, spec.min_dcd), collides, u)
+    for u, peak, collides in zip(candidates, peaks, collisions):
+        key = (peak, int(collides), u)
         if best_key is None or key < best_key:
             best_key = key
             best_u = u
-    return best_u
+    return float(best_u)
 
 
 def _plan_stagger(view: SharedView, config: SchedulerConfig,

@@ -181,6 +181,11 @@ class HanSystem:
             self._build_radio()
 
         self.agents: dict[int, DeviceAgentBase] = {}
+        #: DIs that may hold a fresh CpItem — a conservative superset
+        #: maintained via each agent's ``_on_dirty`` observer, so CP
+        #: rounds skip idle agents without even calling them (see
+        #: :meth:`cp_pending_nodes`)
+        self._cp_dirty: set[int] = set()
         self.cp = None
         self.controller: Optional[CentralController] = None
         self.at_network: Optional[CollectionNetwork] = None
@@ -231,7 +236,14 @@ class HanSystem:
                 self.sim, self.appliances[device_id], self.sched_config)
         self._build_cp()
 
+    def _watch_dirty_agents(self) -> None:
+        """Subscribe to every agent's dirty flag (all start pending)."""
+        for device_id, agent in self.agents.items():
+            agent._on_dirty = self._cp_dirty.add
+            self._cp_dirty.add(device_id)
+
     def _build_cp(self) -> None:
+        self._watch_dirty_agents()
         fidelity = self.config.cp_fidelity
         if fidelity == "ideal":
             self.cp = IdealCP(self.sim, self, self.device_ids,
@@ -326,8 +338,23 @@ class HanSystem:
 
     # -- CpApplication interface (multiplexes the per-DI agents) -----------------
 
+    def cp_pending_nodes(self) -> set:
+        """Nodes that may share a payload this round (superset, cheap).
+
+        The CP drivers use this to skip idle DIs without a call per node
+        per round; a node leaves the set only once :meth:`cp_payload`
+        confirms its agent has nothing left to share, so the set can
+        never under-report (skipping a node here is behaviourally
+        identical to its ``cp_payload`` returning ``None``).
+        """
+        return self._cp_dirty
+
     def cp_payload(self, node: int, round_index: int):
-        return self.agents[node].cp_payload(node, round_index)
+        agent = self.agents[node]
+        payload = agent.cp_payload(node, round_index)
+        if not agent.cp_pending:
+            self._cp_dirty.discard(node)
+        return payload
 
     def cp_deliver(self, node: int, packets: dict, round_index: int) -> None:
         self.agents[node].cp_deliver(node, packets, round_index)

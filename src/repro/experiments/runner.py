@@ -1,11 +1,13 @@
 """Experiment orchestration: policy comparisons over seed replications.
 
 The :class:`ParallelRunner` fans independently seeded runs — registry
-entries, (policy, seed) grids, neighborhood homes — out over
-``multiprocessing`` workers.  Every run derives all randomness from its own
+entries, (policy, seed) grids, neighborhood homes — out over the
+persistent worker pool of :mod:`repro.experiments.pool`.  Every run
+derives all randomness from its own
 :class:`~repro.sim.rng.RandomStreams` root seed through order-independent
 named streams, so results are bit-identical no matter how many workers
-execute the batch or in which order they finish.
+execute the batch, in which order they finish, or whether the pool was
+freshly spawned or reused from an earlier batch.
 
 Units of work are picklable :class:`RunSpec` values; worker failures
 surface as :class:`WorkerFailure` carrying the failing run's *name* plus
@@ -16,7 +18,6 @@ batch so wall-clock is bounded by the slowest single run.
 
 from __future__ import annotations
 
-import multiprocessing
 import traceback
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
@@ -25,6 +26,7 @@ import numpy as np
 
 from repro.analysis.loadstats import LoadStats, load_stats, mean_and_std
 from repro.core.system import HanConfig, RunResult, execute_config
+from repro.experiments.pool import WorkerPool, shared_pool
 from repro.workloads.scenarios import Scenario
 
 
@@ -64,21 +66,25 @@ def _execute_run_spec(spec: RunSpec) -> tuple:
         return ("err", spec.name, traceback.format_exc())
 
 
-def _execute_registry_entry(exp_id: str) -> tuple:
+def _execute_registry_entry(item: tuple) -> tuple:
     """Worker body for :meth:`ParallelRunner.regenerate`.
 
-    Registry entries are declarative now: when the experiment carries an
+    ``item`` is ``(exp_id, cache)`` — the experiment id plus the (possibly
+    ``None``) :class:`~repro.api.cache.ResultCache` to consult.  Registry
+    entries are declarative now: when the experiment carries an
     :class:`~repro.api.spec.ExperimentSpec` (all built-ins do), the
     worker executes it through the spec API — the same path
-    ``repro run --spec`` takes — and falls back to the entry's bare
-    ``regenerate`` callable otherwise.
+    ``repro run --spec`` takes, including the result cache — and falls
+    back to the entry's bare ``regenerate`` callable otherwise.
     """
+    exp_id, cache = item
     from repro.experiments.registry import get
     try:
         experiment = get(exp_id)
         if experiment.spec is not None:
             from repro.api import run as run_spec
-            return ("ok", exp_id, run_spec(experiment.spec).artefact)
+            return ("ok", exp_id,
+                    run_spec(experiment.spec, cache=cache).artefact)
         return ("ok", exp_id, experiment.regenerate())
     except Exception:
         return ("err", exp_id, traceback.format_exc())
@@ -87,24 +93,37 @@ def _execute_registry_entry(exp_id: str) -> tuple:
 class ParallelRunner:
     """Order-preserving fan-out of independent runs over worker processes.
 
+    ``jobs > 1`` draws a persistent pool from
+    :func:`repro.experiments.pool.shared_pool` (or uses an explicitly
+    provided :class:`~repro.experiments.pool.WorkerPool`), so
+    consecutive batches reuse warm workers instead of forking per batch.
     ``jobs=1`` executes in-process (no pickling round-trip), which the
     determinism tests exploit: the same specs must produce bit-identical
-    results under 1 and N workers.
+    results under 1 worker, N workers, and a reused pool.
     """
 
-    def __init__(self, jobs: int = 1, mp_context: Optional[str] = None):
+    def __init__(self, jobs: int = 1, mp_context: Optional[str] = None,
+                 pool: Optional[WorkerPool] = None):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self._mp_context = mp_context
+        self._pool = pool
 
     def run(self, specs: Sequence[RunSpec]) -> list[RunResult]:
         """Execute every spec; results come back in input order."""
         return self._map(_execute_run_spec, list(specs))
 
-    def regenerate(self, exp_ids: Sequence[str]) -> list[object]:
-        """Regenerate registry artefacts (figures/ablations) by id."""
-        return self._map(_execute_registry_entry, list(exp_ids))
+    def regenerate(self, exp_ids: Sequence[str],
+                   cache: Optional[object] = None) -> list[object]:
+        """Regenerate registry artefacts (figures/ablations) by id.
+
+        ``cache`` (a :class:`~repro.api.cache.ResultCache`, or ``None``)
+        rides along to every worker, so spec-backed entries are served
+        from / stored to the result cache.
+        """
+        return self._map(_execute_registry_entry,
+                         [(exp_id, cache) for exp_id in exp_ids])
 
     def _map(self, worker: Callable[[object], tuple],
              items: list) -> list:
@@ -113,10 +132,9 @@ class ParallelRunner:
         if self.jobs == 1 or len(items) == 1:
             outcomes = [worker(item) for item in items]
         else:
-            context = multiprocessing.get_context(self._mp_context)
-            processes = min(self.jobs, len(items))
-            with context.Pool(processes=processes) as pool:
-                outcomes = pool.map(worker, items, chunksize=1)
+            pool = self._pool if self._pool is not None \
+                else shared_pool(self.jobs, self._mp_context)
+            outcomes = pool.map(worker, items)
         results = []
         for status, name, payload in outcomes:
             if status == "err":
@@ -126,18 +144,22 @@ class ParallelRunner:
 
 
 def run_registry(exp_ids: Optional[Sequence[str]] = None,
-                 jobs: int = 1) -> list[tuple[str, object]]:
+                 jobs: int = 1,
+                 cache: Optional[object] = None) -> list[tuple[str, object]]:
     """Regenerate registry entries (all of them by default), in parallel.
 
     Returns ``(exp_id, artefact)`` pairs in id order.  Unknown ids raise
-    ``KeyError`` up front, before any work is spawned.
+    ``KeyError`` up front, before any work is spawned.  ``cache`` is
+    forwarded to every spec execution (see
+    :func:`repro.api.run.run`); ``repro regen`` passes the default
+    on-disk cache so unchanged artefacts regenerate near-instantly.
     """
     from repro.experiments.registry import all_experiments, get
     if exp_ids:
         ids = [get(exp_id).exp_id for exp_id in exp_ids]
     else:
         ids = [entry.exp_id for entry in all_experiments()]
-    artefacts = ParallelRunner(jobs=jobs).regenerate(ids)
+    artefacts = ParallelRunner(jobs=jobs).regenerate(ids, cache=cache)
     return list(zip(ids, artefacts))
 
 

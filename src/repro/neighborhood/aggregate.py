@@ -19,6 +19,8 @@ import math
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.analysis.loadstats import (
     LoadStats,
     coincidence_factor,
@@ -32,11 +34,25 @@ from repro.sim.monitor import StepSeries
 
 def sum_series(series_list: Sequence[StepSeries],
                name: str = "feeder") -> StepSeries:
-    """Exact sum of step functions: a new series stepping at every event."""
+    """Exact sum of step functions: a new series stepping at every event.
+
+    Vectorized: every member series is sampled at the sorted-unique union
+    of event times in one :meth:`~repro.sim.monitor.StepSeries.sample`
+    call, then summed per event with ``math.fsum`` — the same correctly
+    rounded (order-independent) total the scalar loop produced, so
+    aggregates stay bit-identical.
+    """
     out = StepSeries(name)
-    events = sorted({t for series in series_list for t in series.times})
-    for t in events:
-        out.record(t, math.fsum(series.at(t) for series in series_list))
+    gathered = [series._data()[0] for series in series_list
+                if len(series)]
+    if not gathered:
+        return out
+    events = np.unique(np.concatenate(gathered))
+    sampled = np.empty((events.size, len(series_list)), dtype=float)
+    for column, series in enumerate(series_list):
+        sampled[:, column] = series.sample(events)
+    for t, row in zip(events.tolist(), sampled):
+        out.record(t, math.fsum(row.tolist()))
     return out
 
 

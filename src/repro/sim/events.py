@@ -100,7 +100,13 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` time units after creation."""
+    """An event that fires ``delay`` time units after creation.
+
+    Timeouts are the kernel's highest-churn allocation (every process
+    wait creates one), so :meth:`repro.sim.kernel.Simulator.timeout`
+    recycles processed instances through a free list via :meth:`_reinit`
+    instead of constructing fresh objects.
+    """
 
     __slots__ = ("delay",)
 
@@ -112,6 +118,22 @@ class Timeout(Event):
         self._ok = True
         self._value = value
         sim._schedule(self, delay=delay)
+
+    def _reinit(self, delay: float, value: object) -> None:
+        """Reset a recycled instance to freshly-constructed state.
+
+        Kernel internal: only the free-list pool of the owning simulator
+        may call this, and only on instances it has proven unreferenced
+        (see :meth:`repro.sim.kernel.Simulator.step`).  The caller
+        schedules the event.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self.callbacks = []
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._defused = False
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"<Timeout delay={self.delay}>"

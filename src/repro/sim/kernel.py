@@ -22,6 +22,7 @@ Typical use::
 from __future__ import annotations
 
 import heapq
+import sys
 from itertools import count
 from typing import Iterable, Optional
 
@@ -34,15 +35,28 @@ PRIORITY_NORMAL = 1
 #: Priority for urgent events (process kick-offs, interrupts).
 PRIORITY_URGENT = 0
 
+#: Upper bound on recycled Timeout instances kept per simulator.
+_TIMEOUT_POOL_MAX = 128
+
+#: ``sys.getrefcount`` result proving an event is referenced only by the
+#: local variable inside :meth:`Simulator.step` (plus the call argument).
+_REFCOUNT_UNREFERENCED = 2
+
 
 class Simulator:
     """Discrete-event simulator: event queue, clock and process management."""
+
+    __slots__ = ("_now", "_queue", "_seq", "_active_process",
+                 "_timeout_pool")
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = count()
         self._active_process: Optional[Process] = None
+        #: free list of processed, provably-unreferenced Timeouts — the
+        #: kernel's highest-churn allocation, recycled by :meth:`step`
+        self._timeout_pool: list[Timeout] = []
 
     # -- clock --------------------------------------------------------------
 
@@ -63,7 +77,18 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: object = None) -> Timeout:
-        """Create an event that fires ``delay`` time units from now."""
+        """Create an event that fires ``delay`` time units from now.
+
+        Pulls from the simulator's Timeout free list when possible
+        (see :meth:`step`); behaviour is indistinguishable from a fresh
+        instance.
+        """
+        pool = self._timeout_pool
+        if pool:
+            event = pool.pop()
+            event._reinit(delay, value)
+            self._schedule(event, delay=delay)
+            return event
         return Timeout(self, delay, value)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
@@ -110,6 +135,15 @@ class Simulator:
             # An event failed and nobody was there to handle it: crash the
             # simulation rather than silently dropping the error.
             raise event.value  # type: ignore[misc]
+        # Recycle the highest-churn allocation: a processed Timeout whose
+        # refcount proves nothing outside this frame still references it
+        # (a process that stored `t = sim.timeout(...)` keeps it alive and
+        # therefore out of the pool).  Events cannot be weakly referenced
+        # (__slots__ without __weakref__), so the refcount check is exact.
+        if (type(event) is Timeout
+                and sys.getrefcount(event) == _REFCOUNT_UNREFERENCED
+                and len(self._timeout_pool) < _TIMEOUT_POOL_MAX):
+            self._timeout_pool.append(event)
 
     def run(self, until: Optional[float | Event] = None) -> object:
         """Run until the queue drains, ``until`` time passes, or event fires.

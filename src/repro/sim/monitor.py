@@ -4,6 +4,15 @@
 load): each ``record(t, v)`` states that the signal holds value ``v`` from
 time ``t`` until the next record.  All summary statistics are *time-weighted*
 so that sampling frequency does not bias them.
+
+Storage is hybrid: recording appends to plain Python lists (O(1) on the
+simulation hot path), while every bulk query — ``sample``, ``window`` and
+the time-weighted statistics — runs over lazily materialized NumPy arrays
+cached until the next ``record``.  The vectorized paths are bit-compatible
+with the scalar definitions they replaced: segment durations and products
+are the same IEEE-754 operations, and reductions that are sensitive to
+float ordering (``integral``, ``variance``) still accumulate through
+``math.fsum`` over identical per-segment terms.
 """
 
 from __future__ import annotations
@@ -18,10 +27,18 @@ import numpy as np
 class StepSeries:
     """A right-open piecewise-constant time series."""
 
+    __slots__ = ("name", "_times", "_values", "_arrays", "_views")
+
     def __init__(self, name: str = ""):
         self.name = name
         self._times: list[float] = []
         self._values: list[float] = []
+        #: cached ``(times, values)`` ndarray pair; None until first use
+        self._arrays: Optional[tuple[np.ndarray, np.ndarray]] = None
+        #: cached immutable ``(times, values)`` tuple pair for the
+        #: :attr:`times` / :attr:`values` properties
+        self._views: Optional[tuple[tuple[float, ...],
+                                    tuple[float, ...]]] = None
 
     # -- recording ----------------------------------------------------------
 
@@ -36,11 +53,15 @@ class StepSeries:
                 # Same-instant update wins (e.g. several devices switching in
                 # one event): overwrite in place.
                 self._values[-1] = value
+                self._arrays = None
+                self._views = None
                 return
             if value == self._values[-1]:
                 return  # no change, keep the series minimal
         self._times.append(float(time))
         self._values.append(float(value))
+        self._arrays = None
+        self._views = None
 
     def __len__(self) -> int:
         return len(self._times)
@@ -48,13 +69,41 @@ class StepSeries:
     def __iter__(self) -> Iterator[tuple[float, float]]:
         return iter(zip(self._times, self._values))
 
+    def __getstate__(self) -> tuple:
+        # Caches are derived state: drop them so pickles stay compact and
+        # two series with equal recordings pickle identically.
+        return (self.name, self._times, self._values)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.name, self._times, self._values = state
+        self._arrays = None
+        self._views = None
+
     @property
     def times(self) -> Sequence[float]:
-        return tuple(self._times)
+        """Record times as an immutable view (cached until next record)."""
+        return self._tuple_views()[0]
 
     @property
     def values(self) -> Sequence[float]:
-        return tuple(self._values)
+        """Record values as an immutable view (cached until next record)."""
+        return self._tuple_views()[1]
+
+    def _tuple_views(self) -> tuple[tuple[float, ...], tuple[float, ...]]:
+        views = self._views
+        if views is None:
+            views = (tuple(self._times), tuple(self._values))
+            self._views = views
+        return views
+
+    def _data(self) -> tuple[np.ndarray, np.ndarray]:
+        """The cached ndarray form of the recordings."""
+        arrays = self._arrays
+        if arrays is None:
+            arrays = (np.asarray(self._times, dtype=float),
+                      np.asarray(self._values, dtype=float))
+            self._arrays = arrays
+        return arrays
 
     # -- queries --------------------------------------------------------------
 
@@ -70,16 +119,36 @@ class StepSeries:
         if end < start:
             raise ValueError(f"end={end} precedes start={start}")
         clipped = StepSeries(self.name)
-        clipped.record(start, self.at(start))
         lo = bisect.bisect_right(self._times, start)
         hi = bisect.bisect_left(self._times, end)
+        at_start = self._values[lo - 1] if lo > 0 else 0.0
+        times = [float(start)]
+        values = [float(at_start)]
+        # Replicate record()'s minimality: drop entries equal to the value
+        # already in force.  The source is *almost* minimal, but
+        # same-instant overwrites can leave adjacent equal values, and the
+        # boundary record can duplicate the first in-window entry.
+        previous = at_start
         for i in range(lo, hi):
-            clipped.record(self._times[i], self._values[i])
+            value = self._values[i]
+            if value != previous:
+                times.append(self._times[i])
+                values.append(value)
+                previous = value
+        clipped._times = times
+        clipped._values = values
         return clipped
 
     def sample(self, times: Iterable[float]) -> np.ndarray:
         """Signal values at each query time, as an array."""
-        return np.array([self.at(t) for t in times], dtype=float)
+        query = np.asarray(list(times) if not isinstance(times, np.ndarray)
+                           else times, dtype=float)
+        rec_times, rec_values = self._data()
+        if rec_times.size == 0:
+            return np.zeros(query.shape, dtype=float)
+        index = np.searchsorted(rec_times, query, side="right") - 1
+        out = rec_values[np.maximum(index, 0)]
+        return np.where(index >= 0, out, 0.0)
 
     def sample_grid(self, start: float, end: float,
                     step: float) -> tuple[np.ndarray, np.ndarray]:
@@ -110,15 +179,32 @@ class StepSeries:
 
     # -- time-weighted statistics over [start, end) ---------------------------
 
-    def _segments(self, start: float,
-                  end: float) -> Iterator[tuple[float, float]]:
-        """Yield ``(duration, value)`` for each constant segment in range."""
-        for seg_start, seg_end, value in self.segments(start, end):
-            yield seg_end - seg_start, value
+    def _segment_arrays(self, start: float,
+                        end: float) -> tuple[np.ndarray, np.ndarray]:
+        """``(durations, values)`` arrays of the segments in ``[start, end)``.
+
+        The vectorized counterpart of :meth:`segments` (same boundaries,
+        same subtractions), for the statistics below; callers must have
+        checked ``end > start``.
+        """
+        times, values = self._data()
+        lo = int(np.searchsorted(times, start, side="right"))
+        hi = int(np.searchsorted(times, end, side="left"))
+        bounds = np.empty(hi - lo + 2, dtype=float)
+        bounds[0] = start
+        bounds[1:-1] = times[lo:hi]
+        bounds[-1] = end
+        seg_values = np.empty(hi - lo + 1, dtype=float)
+        seg_values[0] = values[lo - 1] if lo > 0 else 0.0
+        seg_values[1:] = values[lo:hi]
+        return np.diff(bounds), seg_values
 
     def integral(self, start: float, end: float) -> float:
         """∫ signal dt over ``[start, end)`` (e.g. energy from power)."""
-        return math.fsum(d * v for d, v in self._segments(start, end))
+        if end <= start:
+            return 0.0
+        durations, values = self._segment_arrays(start, end)
+        return math.fsum((durations * values).tolist())
 
     def mean(self, start: float, end: float) -> float:
         """Time-weighted mean over ``[start, end)``."""
@@ -129,8 +215,9 @@ class StepSeries:
     def variance(self, start: float, end: float) -> float:
         """Time-weighted population variance over ``[start, end)``."""
         mu = self.mean(start, end)
-        second = math.fsum(d * (v - mu) ** 2
-                           for d, v in self._segments(start, end))
+        durations, values = self._segment_arrays(start, end)
+        deviation = values - mu
+        second = math.fsum((durations * (deviation * deviation)).tolist())
         return second / (end - start)
 
     def std(self, start: float, end: float) -> float:
@@ -139,23 +226,23 @@ class StepSeries:
 
     def maximum(self, start: float, end: float) -> float:
         """Maximum signal value attained in ``[start, end)``."""
-        best: Optional[float] = None
-        for duration, value in self._segments(start, end):
-            if duration > 0 and (best is None or value > best):
-                best = value
-        if best is None:
+        if end <= start:
             raise ValueError("empty interval")
-        return best
+        durations, values = self._segment_arrays(start, end)
+        held = values[durations > 0]
+        if held.size == 0:  # pragma: no cover - end > start implies one
+            raise ValueError("empty interval")
+        return float(held.max())
 
     def minimum(self, start: float, end: float) -> float:
         """Minimum signal value attained in ``[start, end)``."""
-        worst: Optional[float] = None
-        for duration, value in self._segments(start, end):
-            if duration > 0 and (worst is None or value < worst):
-                worst = value
-        if worst is None:
+        if end <= start:
             raise ValueError("empty interval")
-        return worst
+        durations, values = self._segment_arrays(start, end)
+        held = values[durations > 0]
+        if held.size == 0:  # pragma: no cover - end > start implies one
+            raise ValueError("empty interval")
+        return float(held.min())
 
     def max_step(self, start: float, end: float) -> float:
         """Largest instantaneous upward jump in ``[start, end)``.
@@ -163,20 +250,22 @@ class StepSeries:
         This is the paper's "sudden rise in load": the biggest one-instant
         increase of the signal.
         """
-        biggest = 0.0
-        previous = self.at(start)
-        lo = bisect.bisect_right(self._times, start)
-        hi = bisect.bisect_left(self._times, end)
-        for i in range(lo, hi):
-            jump = self._values[i] - previous
-            if jump > biggest:
-                biggest = jump
-            previous = self._values[i]
-        return biggest
+        times, values = self._data()
+        lo = int(np.searchsorted(times, start, side="right"))
+        hi = int(np.searchsorted(times, end, side="left"))
+        if hi <= lo:
+            return 0.0
+        stepped = values[lo:hi]
+        previous = np.empty_like(stepped)
+        previous[0] = values[lo - 1] if lo > 0 else 0.0
+        previous[1:] = stepped[:-1]
+        return float(max(0.0, (stepped - previous).max()))
 
 
 class Counter:
     """A monotonically increasing named tally (packets sent, rounds run...)."""
+
+    __slots__ = ("name", "value")
 
     def __init__(self, name: str = ""):
         self.name = name
@@ -197,6 +286,8 @@ class GaugeSum:
     Each contributor publishes its own level (e.g. one appliance's power
     draw); the gauge records the *sum* whenever any contributor changes.
     """
+
+    __slots__ = ("series", "_levels", "_total")
 
     def __init__(self, name: str = ""):
         self.series = StepSeries(name)

@@ -102,11 +102,36 @@ class _CpBase:
         raise NotImplementedError
 
     def _gather_payloads(self) -> dict[int, object]:
+        """Fresh payloads this round, keyed by node, in ``nodes`` order.
+
+        When the application can name the nodes that *may* share
+        (``cp_pending_nodes``, a conservative superset — see
+        :meth:`repro.core.system.HanSystem.cp_pending_nodes`), every
+        other node is skipped without a call: on quiet rounds — the vast
+        majority at CP period 2 s — gathering costs one set lookup
+        instead of one call chain per node.  Behaviour is identical
+        either way, because ``cp_payload`` on a non-pending node returns
+        ``None`` without side effects.
+        """
         payloads = {}
+        app = self.app
+        round_index = self.round_index
+        pending = getattr(app, "cp_pending_nodes", None)
+        if pending is not None:
+            candidates = pending()
+            if not candidates:
+                return payloads
+            alive = self.alive
+            for node in self.nodes:
+                if node in candidates and node in alive:
+                    payload = app.cp_payload(node, round_index)
+                    if payload is not None:
+                        payloads[node] = payload
+            return payloads
         for node in self.nodes:
             if node not in self.alive:
                 continue
-            payload = self.app.cp_payload(node, self.round_index)
+            payload = app.cp_payload(node, round_index)
             if payload is not None:
                 payloads[node] = payload
         return payloads

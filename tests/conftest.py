@@ -1,0 +1,28 @@
+"""Shared test fixtures: hermetic cache + worker-pool hygiene.
+
+The result cache (:mod:`repro.api.cache`) defaults to ``~/.cache/repro``;
+tests must never read results a previous run (or a previous code state)
+left there, nor litter the user's cache.  Every test therefore gets
+``REPRO_CACHE_DIR`` pointed at a fresh per-test directory — tests that
+exercise the cache explicitly still construct ``ResultCache(tmp_path)``
+with their own roots.
+
+Worker pools are persistent by design (:mod:`repro.experiments.pool`);
+shutting them down after each test keeps process accounting flat across
+the suite (the next pooled test transparently respawns).
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_result_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
+@pytest.fixture
+def shutdown_pools_after():
+    """Explicit opt-in teardown for tests that spawn shared pools."""
+    yield
+    from repro.experiments.pool import shutdown_pools
+    shutdown_pools()

@@ -253,3 +253,65 @@ def test_batch_peak_is_bounded_by_duty_share(k):
     assert peak <= duty_share + 1
     # and each batch start is unique: load moves one device at a time
     assert len(set(starts)) == k
+
+
+# ---------------------------------------------------------------------------
+# vectorized window sweep + plan memo (PR 4)
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.tuples(st.floats(0, 3000), st.floats(1, 900),
+                          st.sampled_from([500.0, 1000.0, 1500.0])),
+                min_size=0, max_size=12),
+       st.floats(0, 3000))
+@settings(max_examples=150, deadline=None)
+def test_window_peaks_batch_matches_scalar_oracle(raw, u0):
+    """The NumPy candidate batch equals the scalar sweep, float for float.
+
+    ``_window_peak`` is the executable specification; ``_window_peaks``
+    is the vectorized batch the planner actually runs.
+    """
+    import numpy as np
+    from repro.core.scheduler import _window_peak, _window_peaks
+    intervals = [(s, s + d, w) for s, d, w in raw]
+    candidates = np.asarray(sorted({u0, u0 + 100.0, u0 + 901.0}))
+    if intervals:
+        table = np.asarray(intervals, dtype=float)
+        peaks = _window_peaks(table[:, 0], table[:, 1], table[:, 2],
+                              candidates, SPEC.min_dcd)
+        for u, peak in zip(candidates, peaks):
+            assert peak == _window_peak(intervals, float(u), SPEC.min_dcd)
+
+
+def test_plan_memo_returns_equal_but_independent_lists():
+    """Memo hits are value-equal and safe to mutate per caller."""
+    cfg = config()
+    view_a = view_with(
+        statuses=[status(0), status(1, active=True, remaining=2, burst=0.0)],
+        announcements=[announcement(10, 0, arrival=0.0)])
+    view_b = view_with(
+        statuses=[status(0), status(1, active=True, remaining=2, burst=0.0)],
+        announcements=[announcement(10, 0, arrival=0.0)])
+    first = plan_admissions(view_a, cfg, now=0.0)
+    second = plan_admissions(view_b, cfg, now=0.0)  # equal view -> memo hit
+    assert first == second
+    second.clear()  # a caller mutating its plan list ...
+    assert plan_admissions(view_a, cfg, now=0.0) == first  # ... hurts nobody
+
+
+def test_plan_memo_distinguishes_now_and_view():
+    """Every planning input is part of the memo key — no false hits."""
+    from repro.core.scheduler import _PLAN_MEMO
+    cfg = config()
+    view = view_with(
+        statuses=[status(0), status(1, active=True, remaining=2, burst=500.0)],
+        announcements=[announcement(10, 0, arrival=0.0)])
+    _PLAN_MEMO.clear()
+    plan_admissions(view, cfg, now=0.0)
+    plan_admissions(view, cfg, now=250.0)  # same view, different now
+    assert len(_PLAN_MEMO) == 2
+    grown = view_with(
+        statuses=[status(0), status(1, active=True, remaining=2, burst=500.0)],
+        announcements=[announcement(10, 0, arrival=0.0),
+                       announcement(11, 2, arrival=1.0)])
+    plan_admissions(grown, cfg, now=0.0)  # same now, different view
+    assert len(_PLAN_MEMO) == 3

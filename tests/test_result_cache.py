@@ -1,0 +1,239 @@
+"""The on-disk result cache: hits, misses, invalidation, corruption.
+
+Covers the contract of :mod:`repro.api.cache`:
+
+* hit/miss keyed on the spec hash (any spec edit is a different key);
+* invalidation on code-version change;
+* corruption tolerance (truncated entry == miss, then self-heals);
+* ``cache=False`` / CLI ``--no-cache`` bypass;
+* cached results bit-identical to fresh ones, for every result shape;
+* LRU eviction under a size cap;
+* the acceptance lock: warm-cache regeneration >= 10x faster than cold.
+"""
+
+import json
+import pickle
+import time
+
+import pytest
+
+from repro.api import (
+    ControlSpec,
+    ExperimentSpec,
+    FleetPlan,
+    ResultCache,
+    ScenarioSpec,
+    SweepSpec,
+    resolve_cache,
+    run,
+)
+from repro.sim.units import MINUTE
+
+SHORT = 45 * MINUTE
+
+
+def tiny_spec(seed=1, name="cache-single"):
+    return ExperimentSpec(
+        name=name, scenario=ScenarioSpec(preset="paper-low"),
+        control=ControlSpec(cp_fidelity="ideal"),
+        seeds=(seed,), until_s=SHORT)
+
+
+def assert_same_run(a, b):
+    assert list(a.load_w) == list(b.load_w)
+    assert a.stats() == b.stats()
+    assert [r.completed_at for r in a.requests] == \
+        [r.completed_at for r in b.requests]
+    assert a.bursts == b.bursts
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def n_objects(cache):
+    return len(list(cache.objects_dir.glob("*.pkl"))) \
+        if cache.objects_dir.is_dir() else 0
+
+
+def test_miss_then_hit_skips_execution(cache, monkeypatch):
+    spec = tiny_spec()
+    fresh = run(spec, cache=cache)
+    assert n_objects(cache) == 1
+
+    # A second call must be served from the store without executing.
+    # (importlib: the package re-exports run() under the submodule name,
+    # so plain `import repro.api.run` resolves to the function.)
+    import importlib
+    run_module = importlib.import_module("repro.api.run")
+    def boom(*args, **kwargs):
+        raise AssertionError("cache hit must not re-execute")
+    monkeypatch.setattr(run_module, "_execute", boom)
+    cached = run(spec, cache=cache)
+    assert_same_run(fresh.runs[0], cached.runs[0])
+    assert cached.provenance == fresh.provenance
+
+
+def test_spec_change_is_a_miss(cache):
+    run(tiny_spec(seed=1), cache=cache)
+    run(tiny_spec(seed=2), cache=cache)  # different hash -> second object
+    assert n_objects(cache) == 2
+
+
+def test_code_version_change_invalidates(cache, monkeypatch):
+    spec = tiny_spec()
+    run(spec, cache=cache)
+    assert cache.get(spec) is not None
+    import repro
+    monkeypatch.setattr(repro, "__version__", "0.0.0-test")
+    assert cache.get(spec) is None  # old entry keyed on the old release
+    run(spec, cache=cache)
+    assert n_objects(cache) == 2  # both versions now stored
+
+
+def test_truncated_entry_is_a_miss_and_heals(cache):
+    spec = tiny_spec()
+    fresh = run(spec, cache=cache)
+    [obj] = list(cache.objects_dir.glob("*.pkl"))
+    obj.write_bytes(obj.read_bytes()[:20])  # truncate mid-pickle
+    assert cache.get(spec) is None
+    assert not obj.exists()  # the corrupt object was dropped
+    healed = run(spec, cache=cache)  # re-simulates and re-stores
+    assert_same_run(fresh.runs[0], healed.runs[0])
+    assert cache.get(spec) is not None
+
+
+def test_damaged_index_degrades_gracefully(cache):
+    spec = tiny_spec()
+    run(spec, cache=cache)
+    cache.index_path.write_text("{not json")
+    assert cache.get(spec) is not None  # object store alone suffices
+    assert cache.entries()[0].spec_hash  # listing rebuilt from objects
+
+
+def test_cache_false_bypasses(cache):
+    spec = tiny_spec()
+    run(spec, cache=False)
+    run(spec, cache=None)
+    assert n_objects(cache) == 0
+
+
+def test_resolve_cache_forms(cache):
+    assert resolve_cache(None) is None
+    assert resolve_cache(False) is None
+    assert resolve_cache(cache) is cache
+    assert isinstance(resolve_cache(True), ResultCache)
+    with pytest.raises(TypeError):
+        resolve_cache("yes")
+
+
+def test_cli_no_cache_bypasses(tmp_path, monkeypatch, capsys):
+    from repro.cli import main
+    cache_dir = tmp_path / "cli-cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+    spec_file = tmp_path / "spec.json"
+    spec_file.write_text(tiny_spec().to_json())
+    assert main(["run", "--spec", str(spec_file), "--no-cache"]) == 0
+    assert not (cache_dir / "objects").exists()
+    assert main(["run", "--spec", str(spec_file)]) == 0
+    assert len(list((cache_dir / "objects").glob("*.pkl"))) == 1
+
+
+def test_cached_result_bit_identical_per_kind(cache):
+    # single (multi-seed) ...
+    spec = ExperimentSpec(
+        name="cache-seeds", scenario=ScenarioSpec(preset="paper-low"),
+        control=ControlSpec(cp_fidelity="ideal"), seeds=(1, 2),
+        until_s=SHORT)
+    fresh = run(spec, cache=cache)
+    cached = run(spec, cache=cache)
+    for a, b in zip(fresh.runs, cached.runs):
+        assert_same_run(a, b)
+    # ... sweep (exercises the grouping accessors on the cached copy) ...
+    sweep = ExperimentSpec(
+        name="cache-sweep", kind="sweep",
+        scenario=ScenarioSpec(preset="paper-low"),
+        control=ControlSpec(cp_fidelity="ideal"), seeds=(1,),
+        until_s=SHORT, sweep=SweepSpec(rates=(4.0, 18.0)))
+    fresh = run(sweep, cache=cache)
+    cached = run(sweep, cache=cache)
+    for a, b in zip(fresh.runs, cached.runs):
+        assert_same_run(a, b)
+    assert set(cached.sweep_table()) == {4.0, 18.0}
+    # ... and neighborhood (feeder series + stats survive the round trip).
+    nbhd = ExperimentSpec(
+        name="cache-nbhd", kind="neighborhood",
+        scenario=ScenarioSpec(horizon_s=SHORT),
+        control=ControlSpec(cp_fidelity="ideal"), seeds=(3,),
+        fleet=FleetPlan(homes=2, mix="mixed"))
+    fresh = run(nbhd, cache=cache)
+    cached = run(nbhd, cache=cache)
+    assert list(fresh.neighborhood.feeder_w) == \
+        list(cached.neighborhood.feeder_w)
+    assert fresh.neighborhood.feeder_stats() == \
+        cached.neighborhood.feeder_stats()
+    for a, b in zip(fresh.neighborhood.homes, cached.neighborhood.homes):
+        assert_same_run(a, b)
+
+
+def test_lru_eviction_under_size_cap(tmp_path):
+    cache = ResultCache(tmp_path / "small", max_bytes=1)  # everything over
+    first, second = tiny_spec(seed=1), tiny_spec(seed=2)
+    run(first, cache=cache)
+    time.sleep(0.01)  # distinct LRU stamps
+    run(second, cache=cache)
+    # The cap admits at most the newest entry; the older one was evicted.
+    assert cache.get(first) is None
+    assert n_objects(cache) == 1
+
+
+def test_entries_reports_metadata(cache):
+    spec = tiny_spec(name="cache-meta")
+    run(spec, cache=cache)
+    [entry] = cache.entries()
+    assert entry.name == "cache-meta"
+    assert entry.kind == "single"
+    assert entry.size_bytes > 0
+    assert entry.code_version
+    assert cache.total_bytes() == entry.size_bytes
+
+
+def test_clear_removes_everything(cache):
+    run(tiny_spec(seed=1), cache=cache)
+    run(tiny_spec(seed=2), cache=cache)
+    assert cache.clear() == 2
+    assert cache.entries() == []
+    assert n_objects(cache) == 0
+
+
+def test_warm_regen_at_least_10x_faster_than_cold(cache):
+    """Acceptance lock: warm-cache regeneration >= 10x faster than cold.
+
+    Uses one registry entry (FIG1, the cheapest simulation-backed
+    artefact) through the same ``run_registry`` path ``repro regen``
+    takes; the real margin is orders of magnitude, so the 10x assertion
+    has plenty of slack against machine noise.
+    """
+    from repro.experiments.runner import run_registry
+    t0 = time.perf_counter()
+    [(exp_id, cold)] = run_registry(["FIG1"], cache=cache)
+    cold_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    [(_, warm)] = run_registry(["FIG1"], cache=cache)
+    warm_s = time.perf_counter() - t0
+    assert exp_id == "FIG1"
+    assert warm.text == cold.text  # bit-identical artefact rendering
+    assert warm_s * 10 <= cold_s, (warm_s, cold_s)
+
+
+def test_eviction_counts_index_orphans(tmp_path):
+    """Objects missing from the index (lost to a concurrent index
+    rewrite) still count toward — and age out of — the byte cap."""
+    cache = ResultCache(tmp_path / "orphans", max_bytes=1)
+    run(tiny_spec(seed=1), cache=cache)
+    cache.index_path.unlink()  # orphan the stored object
+    time.sleep(0.01)
+    run(tiny_spec(seed=2), cache=cache)  # put() must evict the orphan
+    assert n_objects(cache) == 1
+    assert cache.get(tiny_spec(seed=2)) is not None

@@ -331,3 +331,63 @@ def test_many_processes_complete():
         sim.spawn(proc(sim, i))
     sim.run()
     assert len(done) == 500
+
+
+# ---------------------------------------------------------------------------
+# pooled Timeout events (PR 4)
+# ---------------------------------------------------------------------------
+
+def test_unreferenced_timeouts_are_recycled():
+    """Plain `yield sim.timeout(...)` waits reuse pooled instances."""
+    sim = Simulator()
+
+    def ticker(sim):
+        for _ in range(50):
+            yield sim.timeout(1.0)
+
+    sim.spawn(ticker(sim))
+    sim.run()
+    assert sim.now == 50.0
+    assert len(sim._timeout_pool) >= 1  # churned timeouts were recycled
+
+
+def test_referenced_timeout_is_never_recycled():
+    """A timeout the process still holds keeps its identity and value."""
+    sim = Simulator()
+    seen = {}
+
+    def holder(sim):
+        first = sim.timeout(1.0, value="first")
+        yield first
+        yield sim.timeout(1.0)
+        yield sim.timeout(1.0)
+        # `first` was processed two events ago; had it been recycled,
+        # its value would now belong to a different wait.
+        seen["value"] = first.value
+        seen["processed"] = first.processed
+
+    sim.spawn(holder(sim))
+    sim.run()
+    assert seen == {"value": "first", "processed": True}
+
+
+def test_recycled_timeout_behaves_like_fresh():
+    sim = Simulator()
+    order = []
+
+    def a(sim):
+        yield sim.timeout(1.0)
+        order.append(("a", sim.now))
+        yield sim.timeout(3.0, value=7)
+        order.append(("a2", sim.now))
+
+    def b(sim):
+        got = yield sim.timeout(2.0, value="payload")
+        order.append(("b", sim.now, got))
+
+    sim.spawn(a(sim))
+    sim.spawn(b(sim))
+    sim.run()
+    assert order == [("a", 1.0), ("b", 2.0, "payload"), ("a2", 4.0)]
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)  # recycled path validates like the constructor

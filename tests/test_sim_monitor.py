@@ -204,3 +204,81 @@ def test_segments_agree_with_statistics():
     total = sum((end - start) * value
                 for start, end, value in series.segments(3.0, 25.0))
     assert total == pytest.approx(series.integral(3.0, 25.0))
+
+
+# ---------------------------------------------------------------------------
+# cached views + vectorized statistics (PR 4)
+# ---------------------------------------------------------------------------
+
+def test_times_values_views_cached_and_invalidated():
+    """The tuple views are reused between records, refreshed after one."""
+    series = make_series([(0.0, 1.0), (10.0, 2.0)])
+    first_times, first_values = series.times, series.values
+    assert isinstance(first_times, tuple)
+    assert series.times is first_times  # cached: no per-access copy
+    assert series.values is first_values
+    series.record(20.0, 3.0)
+    assert series.times is not first_times  # invalidated by the record
+    assert series.times == (0.0, 10.0, 20.0)
+    assert series.values == (1.0, 2.0, 3.0)
+    assert first_times == (0.0, 10.0)  # old view immutable, unchanged
+
+
+def test_same_instant_overwrite_invalidates_views():
+    series = make_series([(0.0, 1.0)])
+    before = series.values
+    series.record(0.0, 5.0)  # same-instant overwrite, not an append
+    assert series.values == (5.0,)
+    assert before == (1.0,)
+
+
+def test_vectorized_sample_matches_scalar_at():
+    series = make_series([(5.0, 3.0), (10.0, 1.0), (30.0, 0.0)])
+    query = [0.0, 4.999, 5.0, 9.0, 10.0, 29.9, 30.0, 100.0]
+    sampled = series.sample(query)
+    assert list(sampled) == [series.at(t) for t in query]
+    assert list(StepSeries().sample(query)) == [0.0] * len(query)
+
+
+def test_window_fast_path_matches_record_semantics():
+    series = make_series([(0.0, 0.0), (10.0, 2.0), (20.0, 3.0)])
+    clipped = series.window(0.0, 15.0)
+    # leading zero-valued boundary record is deduplicated, as record()
+    # would have done (the signal is 0 before the first record anyway)
+    assert list(clipped) == [(0.0, 0.0), (10.0, 2.0)]
+    inner = series.window(12.0, 12.0)
+    assert list(inner) == [(12.0, 2.0)]
+
+
+def test_stats_bit_equal_to_segment_definition():
+    """Vectorized statistics equal the fsum-over-segments definition."""
+    import math
+    series = make_series([(0.0, 2.5), (7.0, 11.25), (13.0, 0.5),
+                          (21.0, 7.75)])
+    start, end = 3.0, 27.0
+    segments = list(series.segments(start, end))
+    integral = math.fsum((b - a) * v for a, b, v in segments)
+    assert series.integral(start, end) == integral
+    mu = integral / (end - start)
+    variance = math.fsum((b - a) * (v - mu) ** 2
+                         for a, b, v in segments) / (end - start)
+    assert series.variance(start, end) == variance
+    assert series.maximum(start, end) == max(v for _a, _b, v in segments)
+    assert series.minimum(start, end) == min(v for _a, _b, v in segments)
+
+
+def test_window_dedups_overwrite_created_duplicates():
+    """Same-instant overwrites can leave adjacent equal values; window()
+    must still apply record()'s minimality, exactly as the old
+    record()-based implementation did."""
+    series = StepSeries()
+    series.record(0.0, 2.0)
+    series.record(10.0, 5.0)
+    series.record(10.0, 2.0)   # overwrite back to the prior level
+    assert list(series) == [(0.0, 2.0), (10.0, 2.0)]  # non-minimal store
+    assert list(series.window(5.0, 20.0)) == [(5.0, 2.0)]
+    assert list(series.window(0.0, 20.0)) == [(0.0, 2.0)]
+    # a chain of overwrite-created equals collapses the same way
+    series.record(20.0, 5.0)
+    series.record(20.0, 2.0)
+    assert list(series.window(5.0, 30.0)) == [(5.0, 2.0)]

@@ -42,11 +42,13 @@ DOC_FILES = [REPO_ROOT / "README.md",
 #: Modules whose public API the docs reference; all of it must be
 #: documented (docs/architecture.md, docs/coordination.md).
 API_MODULES = [
+    "repro.api.cache",
     "repro.api.compile",
     "repro.api.run",
     "repro.api.spec",
     "repro.api.validate",
     "repro.core.coordinator",
+    "repro.experiments.pool",
     "repro.experiments.runner",
     "repro.neighborhood.aggregate",
     "repro.neighborhood.coordination",
