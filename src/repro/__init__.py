@@ -28,7 +28,10 @@ from repro.core import (
 )
 from repro.workloads import PAPER_RATES, Scenario, paper_scenario
 
-__version__ = "1.1.0"
+#: Release version; also the result-cache invalidation key — bumped here
+#: because pickled result layouts changed (NeighborhoodResult grew
+#: precomputed per-home stats), so pre-1.2 cache entries must miss.
+__version__ = "1.2.0"
 
 __all__ = [
     "HanConfig",

@@ -63,6 +63,39 @@ class CacheEntry:
     last_used: float
 
 
+#: Index row holding the persisted usage counters (``#`` keeps it out of
+#: the object-key namespace — object keys are ``<hex>.<version>``).
+_STATS_KEY = "#stats"
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Persisted lifetime usage counters of one cache store.
+
+    Survive across processes in the index (advisory, like the LRU
+    clocks) and reset when the store is cleared.  ``bytes_read`` /
+    ``bytes_written`` count object payloads actually loaded/stored, so
+    ``bytes_read / max(hits, 1)`` approximates the per-hit transport
+    saving.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls accounted (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """hits / lookups (1.0 for an unused store)."""
+        return self.hits / self.lookups if self.lookups else 1.0
+
+
 def default_cache_dir() -> Path:
     """The cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
     override = os.environ.get(CACHE_DIR_ENV)
@@ -140,6 +173,41 @@ class ResultCache:
 
     # -- operations -------------------------------------------------------
 
+    def _bump_stats(self, index: dict, **deltas: int) -> None:
+        """Fold counter deltas into the index's stats row (in place)."""
+        row = index.get(_STATS_KEY)
+        if not isinstance(row, dict):
+            row = {}
+            index[_STATS_KEY] = row
+        for counter, delta in deltas.items():
+            try:
+                row[counter] = int(row.get(counter, 0)) + delta
+            except (TypeError, ValueError):
+                row[counter] = delta
+
+    def _count_miss(self) -> None:
+        """Persist one miss (advisory, like every index write)."""
+        index = self._read_index()
+        self._bump_stats(index, misses=1)
+        self._write_index(index)
+
+    def stats(self) -> CacheStats:
+        """The persisted lifetime counters (zeros for a fresh store)."""
+        row = self._read_index().get(_STATS_KEY)
+        if not isinstance(row, dict):
+            return CacheStats()
+
+        def _int(name: str) -> int:
+            try:
+                return int(row.get(name, 0))
+            except (TypeError, ValueError):
+                return 0
+
+        return CacheStats(hits=_int("hits"), misses=_int("misses"),
+                          stores=_int("stores"),
+                          bytes_read=_int("bytes_read"),
+                          bytes_written=_int("bytes_written"))
+
     def get(self, spec: "ExperimentSpec",
             spec_digest: Optional[str] = None) -> Optional["Result"]:
         """The stored result of ``spec`` under the current code version.
@@ -148,6 +216,8 @@ class ResultCache:
         version, or a corrupt/truncated object (which is deleted).
         ``spec_digest`` skips re-hashing when the caller already holds
         the spec hash (``run()`` computes it for provenance anyway).
+        Every lookup lands in the persisted hit/miss counters
+        (:meth:`stats`).
         """
         import repro
         if spec_digest is None:
@@ -159,16 +229,19 @@ class ResultCache:
             payload = path.read_bytes()
             result = pickle.loads(payload)
         except OSError:
+            self._count_miss()
             return None
         except Exception:
             # Truncated or otherwise unreadable entry: drop it and miss.
             self.discard(key)
+            self._count_miss()
             return None
         index = self._read_index()
         entry = index.get(key)
         if isinstance(entry, dict):
             entry["last_used"] = time.time()
-            self._write_index(index)
+        self._bump_stats(index, hits=1, bytes_read=len(payload))
+        self._write_index(index)
         return result
 
     def put(self, spec: "ExperimentSpec", result: "Result",
@@ -213,6 +286,7 @@ class ResultCache:
             "created": now,
             "last_used": now,
         }
+        self._bump_stats(index, stores=1, bytes_written=len(payload))
         self._evict(index, keep=key)
         self._write_index(index)
         return path
@@ -332,7 +406,8 @@ class ResultCache:
     def clear(self) -> int:
         """Delete every entry; returns how many objects were removed.
 
-        Also sweeps abandoned temp files left by interrupted stores.
+        Also sweeps abandoned temp files left by interrupted stores and
+        resets the persisted usage counters (they live in the index).
         """
         removed = 0
         if self.objects_dir.is_dir():

@@ -154,7 +154,8 @@ def provenance_of(spec: ExperimentSpec) -> Provenance:
 
 def run(spec: ExperimentSpec, jobs: int = 1,
         mp_context: Optional[str] = None,
-        cache: "CacheLike" = None) -> Result:
+        cache: "CacheLike" = None,
+        shard_size: Optional[int] = None) -> Result:
     """Validate, compile and execute a spec; the API's only verb.
 
     ``jobs`` fans independent units (seed cells, sweep cells,
@@ -170,6 +171,11 @@ def run(spec: ExperimentSpec, jobs: int = 1,
     ``None``/``False`` (default) disables caching.  A hit returns the
     stored result without executing anything; because runs are
     bit-deterministic, hits and fresh runs are indistinguishable.
+
+    ``shard_size`` tunes fleet-scale neighborhood execution (see
+    :mod:`repro.neighborhood.shard`): like ``jobs`` it is a pure
+    execution knob — large fleets auto-shard, ``0`` forces the per-home
+    path, and every setting produces bit-identical results.
     """
     from repro.api.cache import resolve_cache
     validate(spec)
@@ -179,14 +185,15 @@ def run(spec: ExperimentSpec, jobs: int = 1,
         hit = store.get(spec, spec_digest=provenance.spec_hash)
         if hit is not None:
             return hit
-    result = _execute(spec, provenance, jobs, mp_context)
+    result = _execute(spec, provenance, jobs, mp_context, shard_size)
     if store is not None:
         store.put(spec, result, spec_digest=provenance.spec_hash)
     return result
 
 
 def _execute(spec: ExperimentSpec, provenance: Provenance, jobs: int,
-             mp_context: Optional[str]) -> Result:
+             mp_context: Optional[str],
+             shard_size: Optional[int] = None) -> Result:
     """Run a validated spec (the cache-miss path of :func:`run`)."""
     from repro.experiments.runner import ParallelRunner
     if spec.kind in ("single", "sweep"):
@@ -198,7 +205,8 @@ def _execute(spec: ExperimentSpec, provenance: Provenance, jobs: int,
         fleet = compile_fleet(spec)
         neighborhood = execute_fleet(
             fleet, jobs=jobs, until=spec.until_s, mp_context=mp_context,
-            coordination=spec.fleet.coordination, spec=spec)
+            coordination=spec.fleet.coordination, spec=spec,
+            shard_size=shard_size)
         return Result(spec=spec, provenance=provenance,
                       neighborhood=neighborhood)
     # artefact

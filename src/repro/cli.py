@@ -134,6 +134,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the feeder-level collaboration plane "
                         "(cross-home phase staggering) and report the "
                         "diversity-factor uplift")
+    p.add_argument("--shard-size", type=int, default=None,
+                   help="homes per execution shard (default: auto — "
+                        "large fleets shard, small ones fan out "
+                        "per home; 0 forces the per-home path; results "
+                        "are bit-identical either way)")
     p.add_argument("--policy", choices=POLICIES, default="coordinated")
     p.add_argument("--fidelity", choices=FIDELITIES, default="round")
     p.add_argument("--horizon-min", type=float, default=None,
@@ -156,6 +161,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="inspect or clear the on-disk result cache")
     cache_sub = p.add_subparsers(dest="cache_command", required=True)
     cache_sub.add_parser("ls", help="list cached results (LRU order)")
+    cache_sub.add_parser("stats",
+                         help="persisted hit/miss/byte counters")
     cache_sub.add_parser("clear", help="delete every cached result")
 
     sub.add_parser("list", help="list every reproducible experiment")
@@ -292,6 +299,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # traceback.
         print(f"error: {bad_input}", file=sys.stderr)
         return 2
+    finally:
+        # One command, one process: don't leave warm workers behind.
+        from repro.experiments.pool import shutdown_all
+        shutdown_all()
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -384,8 +395,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         # both come from compile_fleet, so they cannot diverge.  The
         # builder stays this module's (patchable) attribute.
         fleet = _checked(compile_fleet, spec, builder=build_fleet)
-        result = execute_fleet(fleet, jobs=args.jobs,
-                               coordination=coordination, spec=spec)
+        result = _checked(execute_fleet, fleet, jobs=args.jobs,
+                          coordination=coordination, spec=spec,
+                          shard_size=args.shard_size)
         print(result.render())
         if args.export_json:
             from repro.analysis.export import neighborhood_to_json
@@ -433,6 +445,19 @@ def _dispatch_cache(args: argparse.Namespace) -> int:
             title=f"Result cache at {cache.root} "
                   f"({len(entries)} entries, {total / 1e6:.1f} MB of "
                   f"{cache.max_bytes / 1e6:.0f} MB)"))
+    elif args.cache_command == "stats":
+        stats = cache.stats()
+        print(format_table(
+            ["counter", "value"],
+            [["lookups", stats.lookups],
+             ["hits", stats.hits],
+             ["misses", stats.misses],
+             ["hit ratio", f"{stats.hit_ratio:.2f}"],
+             ["stores", stats.stores],
+             ["bytes read", f"{stats.bytes_read / 1e6:.1f} MB"],
+             ["bytes written", f"{stats.bytes_written / 1e6:.1f} MB"]],
+            title=f"Result cache usage ({cache.root}; cleared on "
+                  f"`repro cache clear`)"))
     elif args.cache_command == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached results from {cache.root}")

@@ -294,6 +294,15 @@ class CoordinatedAgent(DeviceAgentBase):
         """Admit visible pending requests; apply only this device's share."""
         if not self.view.pending:
             return
+        # Only decisions for *this* device are ever applied, and an
+        # admission order with none of our announcements cannot produce
+        # one (planning is pure) — skip the whole pass.  This is the
+        # common case: another device's announcement lingers in our view
+        # for a round until its owner's updated status clears it.
+        own = self.device_id
+        if all(announcement.device_id != own
+               for announcement in self.view.pending.values()):
+            return
         decisions = plan_admissions(self.view, self.config, self.sim.now)
         mine = [d for d in decisions if d.device_id == self.device_id]
         if not mine:

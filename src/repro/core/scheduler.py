@@ -94,15 +94,40 @@ class SchedulerConfig:
 _PLAN_MEMO: dict[tuple, list[AdmissionDecision]] = {}
 _PLAN_MEMO_MAX = 32
 
+#: Incremental planning traces keyed ``(statuses, config, now)`` — the
+#: view-diff companion to the exact memo.  Under lossy CP fidelities,
+#: DIs in one round often agree on every device *status* but disagree on
+#: the pending tail (a fresh announcement rides the very packet some DI
+#: missed), so their admission orders share a prefix.  Planning is a
+#: sequential state evolution whose per-item state (decision list,
+#: projected-interval list) only ever *appends*; a trace checkpoints
+#: those lengths after every admission, and a later planning pass with
+#: the same statuses re-plans only its divergent suffix from the
+#: checkpoint — bit-identical to planning from scratch, by purity.
+_PLAN_TRACES: dict[tuple, "_PlanTrace"] = {}
+_PLAN_TRACES_MAX = 32
 
-def _plan_memo_key(view: SharedView, config: SchedulerConfig,
-                   now: float) -> tuple:
-    """Everything planning reads, as one hashable value."""
-    return (tuple(sorted(view.statuses.items())),
-            tuple(sorted(view.pending.items())),
-            config.spec, config.mode, config.grid_origin,
-            config.balance_by_power, config.deferral, config.epsilon,
-            now)
+
+class _PlanTrace:
+    """Replayable planning state over one ``(statuses, config, now)``."""
+
+    __slots__ = ("pending", "decisions", "intervals", "checkpoints")
+
+    def __init__(self, intervals: list):
+        #: admission order processed so far (announcement values)
+        self.pending: list[RequestAnnouncement] = []
+        self.decisions: list[AdmissionDecision] = []
+        #: base projected intervals + one append per placed cycle
+        self.intervals = intervals
+        #: ``(len(decisions), len(intervals))`` before item 0 and after
+        #: every processed item — the suffix-replay entry points
+        self.checkpoints: list[tuple[int, int]] = [(0, len(intervals))]
+
+
+def _config_key(config: SchedulerConfig) -> tuple:
+    """The scheduler knobs planning reads, as one hashable value."""
+    return (config.spec, config.mode, config.grid_origin,
+            config.balance_by_power, config.deferral, config.epsilon)
 
 
 def plan_admissions(view: SharedView, config: SchedulerConfig,
@@ -114,18 +139,23 @@ def plan_admissions(view: SharedView, config: SchedulerConfig,
     paper's one-by-one ``(arrival, id)`` order; requests for already-active
     devices extend demand without moving the claim.
 
-    Memoized on the exact view content (see ``_PLAN_MEMO``): converged
-    DIs re-planning the same round share one computation, bit-identical
-    by purity.
+    Two reuse layers make the N-DI re-planning cheap, both bit-identical
+    by purity: the exact-content memo (``_PLAN_MEMO``) collapses fully
+    converged views into one computation, and the view-diff traces
+    (``_PLAN_TRACES``) let views that diverge only in their pending tail
+    re-plan just the affected suffix of the admission order.
     """
-    key = _plan_memo_key(view, config, now)
+    statuses_part, pending_part = view.plan_key()
+    config_part = _config_key(config)
+    key = (statuses_part, pending_part, config_part, now)
     cached = _PLAN_MEMO.get(key)
     if cached is not None:
         return list(cached)
     if config.mode == "grid":
         decisions = _plan_grid(view, config, now)
     else:
-        decisions = _plan_stagger(view, config, now)
+        decisions = _plan_stagger(view, config, now, statuses_part,
+                                  config_part)
     if len(_PLAN_MEMO) >= _PLAN_MEMO_MAX:
         _PLAN_MEMO.clear()
     _PLAN_MEMO[key] = decisions
@@ -251,14 +281,62 @@ def _pick_start(intervals: list[tuple[float, float, float]],
     return float(best_u)
 
 
-def _plan_stagger(view: SharedView, config: SchedulerConfig,
-                  now: float) -> list[AdmissionDecision]:
+def _plan_stagger(view: SharedView, config: SchedulerConfig, now: float,
+                  statuses_part: tuple,
+                  config_part: tuple) -> list[AdmissionDecision]:
+    """Stagger-mode planning with view-diff suffix reuse.
+
+    The trace for ``(statuses, config, now)`` carries the planning state
+    after every already-processed admission; this pass replays the
+    longest prefix of its own admission order that the trace has seen and
+    computes only the divergent suffix.  A pass that extends the trace's
+    order grows the trace in place for the next DI.
+    """
+    pending = view.pending_ordered()
+    trace_key = (statuses_part, config_part, now)
+    trace = _PLAN_TRACES.get(trace_key)
+    if trace is None:
+        horizon_end = now + 2.0 * config.spec.max_dcp
+        trace = _PlanTrace(_claimed_intervals(view, config, now,
+                                              horizon_end))
+        if len(_PLAN_TRACES) >= _PLAN_TRACES_MAX:
+            _PLAN_TRACES.clear()
+        _PLAN_TRACES[trace_key] = trace
+    shared = min(len(trace.pending), len(pending))
+    prefix = 0
+    while prefix < shared and trace.pending[prefix] == pending[prefix]:
+        prefix += 1
+    if prefix == len(trace.pending) and prefix < len(pending):
+        # The trace's whole order is our prefix: extend it in place.
+        planned = {d.device_id: d for d in trace.decisions
+                   if not d.extends}
+        _stagger_suffix(view, config, now, pending, prefix,
+                        trace.decisions, trace.intervals, planned, trace)
+        trace.pending = list(pending)
+        return list(trace.decisions)
+    # Divergent (or shorter) order: replay the shared prefix from its
+    # checkpoint, plan the rest privately — the trace keeps its branch.
+    n_decisions, n_intervals = trace.checkpoints[prefix]
+    decisions = list(trace.decisions[:n_decisions])
+    intervals = list(trace.intervals[:n_intervals])
+    planned = {d.device_id: d for d in decisions if not d.extends}
+    _stagger_suffix(view, config, now, pending, prefix, decisions,
+                    intervals, planned, None)
+    return decisions
+
+
+def _stagger_suffix(view: SharedView, config: SchedulerConfig, now: float,
+                    pending: list, start_index: int,
+                    decisions: list, intervals: list, planned: dict,
+                    trace: Optional[_PlanTrace]) -> None:
+    """Process ``pending[start_index:]`` one by one (the paper's order).
+
+    Appends to ``decisions``/``intervals`` in place; when ``trace`` is
+    given, records a checkpoint after every item so later passes can
+    branch anywhere in the order.
+    """
     spec = config.spec
-    horizon_end = now + 2.0 * spec.max_dcp
-    intervals = _claimed_intervals(view, config, now, horizon_end)
-    decisions: list[AdmissionDecision] = []
-    planned: dict[int, AdmissionDecision] = {}
-    for announcement in view.pending_ordered():
+    for announcement in pending[start_index:]:
         status = view.status_of(announcement.device_id)
         if status is not None and status.active:
             decisions.append(AdmissionDecision(
@@ -266,30 +344,29 @@ def _plan_stagger(view: SharedView, config: SchedulerConfig,
                 device_id=announcement.device_id,
                 extends=True,
                 demand_cycles=announcement.demand_cycles))
-            continue
-        earlier = planned.get(announcement.device_id)
-        if earlier is not None:
+        elif announcement.device_id in planned:
             decisions.append(AdmissionDecision(
                 request_id=announcement.request_id,
                 device_id=announcement.device_id,
                 extends=True,
                 demand_cycles=announcement.demand_cycles))
-            continue
-        start = _pick_start(intervals, config, now)
-        weight = _weight_of(view, announcement, config)
-        for k in range(announcement.demand_cycles):
-            intervals.append((start + k * spec.max_dcp,
-                              start + k * spec.max_dcp + spec.min_dcd,
-                              weight))
-        decision = AdmissionDecision(
-            request_id=announcement.request_id,
-            device_id=announcement.device_id,
-            extends=False,
-            demand_cycles=announcement.demand_cycles,
-            start_time=start)
-        planned[announcement.device_id] = decision
-        decisions.append(decision)
-    return decisions
+        else:
+            start = _pick_start(intervals, config, now)
+            weight = _weight_of(view, announcement, config)
+            for k in range(announcement.demand_cycles):
+                intervals.append((start + k * spec.max_dcp,
+                                  start + k * spec.max_dcp + spec.min_dcd,
+                                  weight))
+            decision = AdmissionDecision(
+                request_id=announcement.request_id,
+                device_id=announcement.device_id,
+                extends=False,
+                demand_cycles=announcement.demand_cycles,
+                start_time=start)
+            planned[announcement.device_id] = decision
+            decisions.append(decision)
+        if trace is not None:
+            trace.checkpoints.append((len(decisions), len(intervals)))
 
 
 # ---------------------------------------------------------------------------

@@ -117,8 +117,16 @@ class WorkerPool:
             self._pool = None
 
 
-#: Live pools by (jobs, mp_context) signature — see :func:`shared_pool`.
+#: Live pools by (jobs, mp_context) signature, least-recently-used first
+#: — see :func:`shared_pool`.
 _POOLS: dict[tuple[int, Optional[str]], WorkerPool] = {}
+
+#: Most pool *shapes* kept alive at once.  Every distinct
+#: ``(jobs, mp_context)`` used to accumulate workers for the life of the
+#: process; a long session cycling through shapes (sweeps at ``--jobs 4``,
+#: a fleet at ``--jobs 8``, a test suite doing both) now evicts — and
+#: terminates — the least recently drawn shape beyond this many.
+MAX_POOL_SHAPES = 4
 
 
 def shared_pool(jobs: int, mp_context: Optional[str] = None) -> WorkerPool:
@@ -126,21 +134,35 @@ def shared_pool(jobs: int, mp_context: Optional[str] = None) -> WorkerPool:
 
     Every ``repro.api.run`` call (and the deprecated grid shims under it)
     draws from here, so consecutive experiment batches reuse the same
-    warm workers instead of forking per batch.
+    warm workers instead of forking per batch.  At most
+    :data:`MAX_POOL_SHAPES` shapes stay alive — drawing a new shape
+    beyond that closes the least recently used one first.
     """
     key = (jobs, mp_context)
-    pool = _POOLS.get(key)
+    pool = _POOLS.pop(key, None)
     if pool is None:
+        while len(_POOLS) >= MAX_POOL_SHAPES:
+            oldest = next(iter(_POOLS))
+            _POOLS.pop(oldest).close()
         pool = WorkerPool(jobs, mp_context=mp_context)
-        _POOLS[key] = pool
+    # (Re-)insert at the most-recent end: dict order is the LRU order.
+    _POOLS[key] = pool
     return pool
 
 
-def shutdown_pools() -> None:
-    """Terminate every shared pool (idempotent; also runs at exit)."""
+def shutdown_all() -> None:
+    """Terminate every shared pool (idempotent; also runs at exit).
+
+    Tests and the CLI call this on the way out so worker processes never
+    outlive the work; the next :func:`shared_pool` draw after a shutdown
+    transparently respawns.
+    """
     for pool in _POOLS.values():
         pool.close()
     _POOLS.clear()
 
 
-atexit.register(shutdown_pools)
+#: Backwards-compatible alias (pre-PR 5 name).
+shutdown_pools = shutdown_all
+
+atexit.register(shutdown_all)

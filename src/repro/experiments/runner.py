@@ -125,6 +125,28 @@ class ParallelRunner:
         return self._map(_execute_registry_entry,
                          [(exp_id, cache) for exp_id in exp_ids])
 
+    def execute(self, worker: Callable[[object], tuple],
+                items: Sequence[object]) -> list[tuple]:
+        """Fan a custom worker body over the pool, runner-style.
+
+        ``worker`` must be module-level picklable and return the
+        ``("ok"|"err", name, payload)`` triples the built-in bodies use
+        (failures as data — tracebacks always survive pickling).  Unlike
+        :meth:`run`, the triples come back **raw**: callers whose ok
+        payloads own external resources (the fleet shard executor's
+        shared-memory frames, :mod:`repro.neighborhood.shard`) must be
+        able to reclaim them before surfacing an error triple as
+        :class:`WorkerFailure`.
+        """
+        items = list(items)
+        if not items:
+            return []
+        if self.jobs == 1 or len(items) == 1:
+            return [worker(item) for item in items]
+        pool = self._pool if self._pool is not None \
+            else shared_pool(self.jobs, self._mp_context)
+        return pool.map(worker, items)
+
     def _map(self, worker: Callable[[object], tuple],
              items: list) -> list:
         if not items:

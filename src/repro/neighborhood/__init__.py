@@ -1,11 +1,15 @@
 """Neighborhood layer: many heterogeneous HANs behind one feeder.
 
-Four modules, one pipeline (see ``docs/architecture.md``):
+Six modules, one pipeline (see ``docs/architecture.md``):
 
 * :mod:`~repro.neighborhood.fleet` — deterministic heterogeneous fleet
   construction (:func:`build_fleet`);
 * :mod:`~repro.neighborhood.federation` — the parallel fan-out and result
   packaging (:func:`run_neighborhood`);
+* :mod:`~repro.neighborhood.shard` — fleet-scale execution: per-shard
+  sub-specs, worker-local pre-reduction (:func:`plan_shards`);
+* :mod:`~repro.neighborhood.transport` — batched shared-memory series
+  frames between workers and the parent;
 * :mod:`~repro.neighborhood.coordination` — the feeder-level
   collaboration plane (:func:`coordinate_fleet`, ``docs/coordination.md``);
 * :mod:`~repro.neighborhood.aggregate` — exact feeder summation and
@@ -15,7 +19,10 @@ Four modules, one pipeline (see ``docs/architecture.md``):
 from repro.neighborhood.aggregate import (
     FeederComparison,
     FeederStats,
+    SeriesPartial,
+    combine_partials,
     feeder_stats,
+    partial_sum,
     sum_series,
 )
 from repro.neighborhood.coordination import (
@@ -40,6 +47,11 @@ from repro.neighborhood.fleet import (
     build_fleet,
     home_seed,
 )
+from repro.neighborhood.shard import (
+    ShardSpec,
+    plan_shards,
+    shard_fleet,
+)
 
 __all__ = [
     "COORDINATION_MODES",
@@ -52,14 +64,20 @@ __all__ = [
     "HomeItem",
     "HomeSpec",
     "NeighborhoodResult",
+    "SeriesPartial",
+    "ShardSpec",
     "build_fleet",
+    "combine_partials",
     "coordinate_fleet",
     "execute_fleet",
     "feeder_stats",
     "home_seed",
     "negotiate_offsets",
+    "partial_sum",
     "phase_envelope",
+    "plan_shards",
     "rotate_series",
     "run_neighborhood",
+    "shard_fleet",
     "sum_series",
 ]

@@ -2,9 +2,20 @@
 
 Homes behind one feeder are electrically independent; the feeder sees the
 *sum* of their step-function load profiles.  Aggregation is exact (event
-merge, no resampling) and deterministic: event times are sorted-unique and
-homes are summed in fleet order, so the aggregate is bit-identical
-regardless of which worker produced which home.
+merge, no resampling) and deterministic: the per-event totals are the
+*correctly rounded* sums of the member values — the same value
+``math.fsum`` produces — so the aggregate is bit-identical regardless of
+which worker produced which home **and regardless of how the fleet was
+partitioned into shards**.  The fast path is a vectorized compensated
+sum (:func:`_sum2_columns`) with a per-event rounding-certainty margin;
+the vanishingly rare events the margin cannot certify are re-summed with
+``math.fsum`` directly.
+
+Fleet-scale runs pre-reduce per shard: each worker folds its homes into
+one :class:`SeriesPartial` (hi/lo compensated pair per event), and the
+parent combines S partials instead of N homes
+(:func:`combine_partials`) — same bits, a fleet-size-independent parent
+loop.
 
 :class:`FeederStats` summarises one feeder profile;
 :class:`FeederComparison` puts two of them side by side — the independent
@@ -17,7 +28,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -31,29 +42,254 @@ from repro.analysis.loadstats import (
 )
 from repro.sim.monitor import StepSeries
 
+#: unit roundoff of IEEE-754 binary64
+_U = 2.0 ** -53
+
+
+def dedup_records(times: np.ndarray,
+                  values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """What :meth:`~repro.sim.monitor.StepSeries.record` would keep.
+
+    Replays a ``(time, value)``-lexsorted event stream through the record
+    semantics — same-instant groups collapse to their last entry, and an
+    entry equal to the value already in force is dropped *unless* it got
+    there via a same-instant overwrite — entirely vectorized.  The
+    returned arrays feed :meth:`~repro.sim.monitor.StepSeries.from_arrays`
+    bit-identically to a scalar record loop over the same (sorted)
+    stream.
+
+    The lexsort precondition is load-bearing, not cosmetic: within a
+    same-instant group the record loop's skip-then-overwrite behaviour
+    depends on entry order, and the vectorized collapse below is only
+    its equal for value-ascending groups — so unsorted input is rejected
+    rather than silently mis-collapsed.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if times.size == 0:
+        return times, values
+    time_step = np.diff(times)
+    if np.any(time_step < 0) or np.any(
+            (time_step == 0) & (np.diff(values) < 0)):
+        raise ValueError("dedup_records needs a (time, value)-lexsorted "
+                         "stream")
+    # Last entry of each same-instant group wins (same-instant overwrite);
+    # the group's *first* value decides whether the whole group was a
+    # no-change skip (record() only skips while nothing of the group has
+    # been appended, and values within a group arrive sorted).
+    boundary = times[1:] != times[:-1]
+    last = np.concatenate([boundary, [True]])
+    first = np.concatenate([[True], boundary])
+    group_times = times[last]
+    group_last = values[last]
+    group_first = values[first]
+    keep = np.empty(group_times.size, dtype=bool)
+    keep[0] = True
+    keep[1:] = ~((group_first[1:] == group_last[1:])
+                 & (group_last[1:] == group_last[:-1]))
+    return group_times[keep], group_last[keep]
+
+
+def _sample_arrays(times: np.ndarray, values: np.ndarray,
+                   query: np.ndarray) -> np.ndarray:
+    """Step-function sampling on raw arrays (0.0 before the first event).
+
+    The array twin of :meth:`~repro.sim.monitor.StepSeries.sample`, for
+    consumers that hold a series as bare ``(times, values)`` pairs (shard
+    partials, transport frames).
+    """
+    if times.size == 0:
+        return np.zeros(query.shape, dtype=float)
+    index = np.searchsorted(times, query, side="right") - 1
+    out = values[np.maximum(index, 0)]
+    return np.where(index >= 0, out, 0.0)
+
+
+def _sum2_columns(columns: Sequence[np.ndarray],
+                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compensated (Sum2) column-wise sum: ``(hi, lo, abs_sum)`` per row.
+
+    One error-free two-sum per column keeps ``hi + lo`` within
+    ``O((n·u)²) · Σ|x|`` of the exact sum (Ogita–Rump–Oishi *Sum2*), all
+    rows at once; ``abs_sum`` scales that bound per row.
+    """
+    hi = np.zeros_like(np.asarray(columns[0], dtype=float))
+    lo = np.zeros_like(hi)
+    abs_sum = np.zeros_like(hi)
+    for column in columns:
+        column = np.asarray(column, dtype=float)
+        total = hi + column
+        virtual = total - hi
+        err = (hi - (total - virtual)) + (column - virtual)
+        lo = lo + err
+        abs_sum = abs_sum + np.abs(column)
+        hi = total
+    return hi, lo, abs_sum
+
+
+def _sum2_error_bound(n_terms: int, abs_sum: np.ndarray) -> np.ndarray:
+    """Per-row bound on ``|exact − (hi + lo)|`` after :func:`_sum2_columns`.
+
+    Published Sum2 bound is ``2·γ²(n−1)·Σ|x|``; the factor 8 absorbs the
+    γ-vs-``n·u`` slack and the rounding of ``abs_sum`` itself.
+    """
+    return (8.0 * (n_terms * _U) ** 2) * abs_sum
+
+
+def _round_to_nearest(hi: np.ndarray, lo: np.ndarray,
+                      err_bound: np.ndarray,
+                      ) -> tuple[np.ndarray, np.ndarray]:
+    """Round ``hi + lo (± err_bound)`` to one float; flag uncertain rows.
+
+    Returns ``(sums, uncertain)``: ``sums[i]`` is guaranteed to equal the
+    correctly rounded exact sum wherever ``uncertain[i]`` is False.  The
+    certainty test is conservative — the residual of ``fl(hi + lo)`` plus
+    the error bound must clear a quarter-ulp margin, which keeps the exact
+    sum strictly inside the rounding interval and away from ties.
+    """
+    rounded = hi + lo
+    virtual = rounded - hi
+    residual = (hi - (rounded - virtual)) + (lo - virtual)
+    margin = 0.25 * np.spacing(np.abs(rounded))
+    certain = (np.abs(residual) + err_bound) < margin
+    # Exactly-zero rows (no load anywhere) under-run the spacing test.
+    certain |= (err_bound == 0.0) & (residual == 0.0)
+    return rounded, ~certain
+
+
+def _exact_row_sums(columns: Sequence[np.ndarray],
+                    fallback: Callable[[np.ndarray], np.ndarray],
+                    ) -> np.ndarray:
+    """Correctly rounded per-row sums over ``columns``.
+
+    The vectorized Sum2 pass covers (in practice) every row; rows whose
+    certainty margin fails — exact sums within ``~2⁻⁸⁶`` relative of a
+    rounding boundary — are recomputed via ``fallback(row_indices)``,
+    which must return the ``math.fsum`` of each flagged row.
+    """
+    hi, lo, abs_sum = _sum2_columns(columns)
+    sums, uncertain = _round_to_nearest(
+        hi, lo, _sum2_error_bound(len(columns), abs_sum))
+    if uncertain.any():
+        rows = np.flatnonzero(uncertain)
+        sums[rows] = fallback(rows)
+    return sums
+
 
 def sum_series(series_list: Sequence[StepSeries],
                name: str = "feeder") -> StepSeries:
     """Exact sum of step functions: a new series stepping at every event.
 
-    Vectorized: every member series is sampled at the sorted-unique union
-    of event times in one :meth:`~repro.sim.monitor.StepSeries.sample`
-    call, then summed per event with ``math.fsum`` — the same correctly
-    rounded (order-independent) total the scalar loop produced, so
-    aggregates stay bit-identical.
+    Fully vectorized, bit-identical to the scalar definition: every
+    member is sampled at the sorted-unique union of event times, per-event
+    totals are the correctly rounded sums of the member values (the
+    ``math.fsum`` value, via :func:`_exact_row_sums`), and the output
+    keeps exactly the events a scalar ``record`` loop would keep.
     """
-    out = StepSeries(name)
     gathered = [series._data()[0] for series in series_list
                 if len(series)]
     if not gathered:
-        return out
+        return StepSeries(name)
     events = np.unique(np.concatenate(gathered))
-    sampled = np.empty((events.size, len(series_list)), dtype=float)
-    for column, series in enumerate(series_list):
-        sampled[:, column] = series.sample(events)
-    for t, row in zip(events.tolist(), sampled):
-        out.record(t, math.fsum(row.tolist()))
-    return out
+    columns = [series.sample(events) for series in series_list]
+
+    def _fsum_rows(rows: np.ndarray) -> np.ndarray:
+        stacked = np.stack([column[rows] for column in columns], axis=1)
+        return np.array([math.fsum(row.tolist()) for row in stacked])
+
+    sums = _exact_row_sums(columns, _fsum_rows)
+    times, values = dedup_records(events, sums)
+    return StepSeries.from_arrays(name, times, values)
+
+
+@dataclass(frozen=True)
+class SeriesPartial:
+    """A shard's pre-reduced (compensated) partial sum of its home series.
+
+    ``hi + lo`` tracks the shard's exact per-event total to within
+    :func:`_sum2_error_bound` of ``n_series`` terms scaled by ``abs_w``;
+    between events every component is constant, so sampling the three
+    arrays at any later event grid reproduces the shard's exact state
+    there.  Produced by workers (:func:`partial_sum`), consumed by the
+    parent (:func:`combine_partials`) — N per-home columns collapse to S
+    shard columns without changing a bit of the final feeder profile.
+    """
+
+    times: np.ndarray
+    hi: np.ndarray
+    lo: np.ndarray
+    abs_w: np.ndarray
+    n_series: int
+
+    @classmethod
+    def empty(cls, n_series: int = 0) -> "SeriesPartial":
+        """The partial of a shard with no recorded events."""
+        zero = np.zeros(0, dtype=float)
+        return cls(times=zero, hi=zero, lo=zero, abs_w=zero,
+                   n_series=n_series)
+
+
+def partial_sum(series_list: Sequence[StepSeries]) -> SeriesPartial:
+    """Pre-reduce a group of series into one :class:`SeriesPartial`.
+
+    Runs in the shard worker: the group's union event grid plus the
+    compensated column sum over its members.  Deterministic — pure
+    arithmetic on the (bit-deterministic) member series, no rounding
+    decision is taken here.
+    """
+    gathered = [series._data()[0] for series in series_list
+                if len(series)]
+    if not gathered:
+        return SeriesPartial.empty(len(series_list))
+    events = np.unique(np.concatenate(gathered))
+    columns = [series.sample(events) for series in series_list]
+    hi, lo, abs_sum = _sum2_columns(columns)
+    return SeriesPartial(times=events, hi=hi, lo=lo, abs_w=abs_sum,
+                         n_series=len(series_list))
+
+
+def combine_partials(partials: Sequence[SeriesPartial],
+                     series_list: Optional[Sequence[StepSeries]] = None,
+                     name: str = "feeder") -> StepSeries:
+    """Fold shard partials into the feeder profile, bit-identically.
+
+    The parent-side half of sharded aggregation: samples every shard's
+    ``(hi, lo, abs)`` state at the global union of events and re-reduces
+    2·S compensated columns.  Because each certified row is the
+    *correctly rounded* exact total — a value independent of the
+    partition — the result equals :func:`sum_series` over the flat home
+    list for any shard size.  ``series_list`` (the full per-home series,
+    which the parent holds anyway for per-home reporting) serves the
+    ``math.fsum`` fallback on uncertain rows; omitting it is only safe
+    for callers that accept a (never yet observed) ``ValueError`` there.
+    """
+    nonempty = [p for p in partials if p.times.size]
+    if not nonempty:
+        return StepSeries(name)
+    events = np.unique(np.concatenate([p.times for p in nonempty]))
+    columns: list[np.ndarray] = []
+    carried_bound = np.zeros(events.size, dtype=float)
+    for partial in nonempty:
+        columns.append(_sample_arrays(partial.times, partial.hi, events))
+        columns.append(_sample_arrays(partial.times, partial.lo, events))
+        carried_bound += _sum2_error_bound(
+            partial.n_series,
+            _sample_arrays(partial.times, partial.abs_w, events))
+    hi, lo, abs_sum = _sum2_columns(columns)
+    bound = carried_bound + _sum2_error_bound(len(columns), abs_sum)
+    sums, uncertain = _round_to_nearest(hi, lo, bound)
+    if uncertain.any():
+        if series_list is None:
+            raise ValueError(
+                "combine_partials needs the member series to settle "
+                "rounding-boundary events; pass series_list")
+        rows = np.flatnonzero(uncertain)
+        row_times = events[rows]
+        stacked = np.stack([series.sample(row_times)
+                            for series in series_list], axis=1)
+        sums[rows] = [math.fsum(row.tolist()) for row in stacked]
+    times, values = dedup_records(events, sums)
+    return StepSeries.from_arrays(name, times, values)
 
 
 @dataclass(frozen=True)

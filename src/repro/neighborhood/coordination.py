@@ -16,12 +16,13 @@ homes, in the spirit of distributed neighborhood scheduling
   :class:`HomeItem` — the home's *claimed-burst envelope*, i.e. the
   per-phase-bin upper bound of its realized Type-2 load — the
   neighborhood analogue of a :class:`~repro.core.state.CpItem`;
-* a decentralized **feeder round** runs over the very same CP driver the
-  in-home plane uses (:class:`~repro.st.rounds.IdealCP` on a private
-  :class:`~repro.sim.kernel.Simulator`): one gateway per round holds the
-  claim token and picks the **phase offset** minimising the projected
-  feeder peak given every other home's claimed envelope — exactly the
-  in-home scheduler's one-by-one stagger logic, one level up;
+* a decentralized **feeder round** mirrors the in-home CP's loss-free
+  all-to-all exchange (:class:`~repro.st.rounds.IdealCP` semantics,
+  executed directly at fleet scale — see :class:`FeederPlane`): one
+  gateway per round holds the claim token and picks the **phase offset**
+  minimising the projected feeder peak given every other home's claimed
+  envelope — exactly the in-home scheduler's one-by-one stagger logic,
+  one level up;
 * the negotiated offsets are applied by *phase-rotating* each home's
   realized load profile (:func:`rotate_series`).  The workloads are
   time-homogeneous (Poisson / MMPP / batch arrivals with no
@@ -53,10 +54,9 @@ from typing import TYPE_CHECKING, Optional, Sequence
 import numpy as np
 
 from repro.core.system import RunResult
-from repro.neighborhood.aggregate import sum_series
-from repro.sim.kernel import Simulator
+from repro.neighborhood.aggregate import combine_partials, sum_series
 from repro.sim.monitor import StepSeries
-from repro.st.rounds import CpStats, IdealCP
+from repro.st.rounds import CpStats
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.neighborhood.fleet import FleetSpec
@@ -166,15 +166,27 @@ class FeederCoordination:
 # envelopes and rotation
 # ---------------------------------------------------------------------------
 
-def _series_segments(series: StepSeries,
-                     horizon: float) -> list[tuple[float, float, float]]:
-    """``(start, end, value)`` segments partitioning ``[0, horizon)``.
+def _segment_table(series: StepSeries, horizon: float,
+                   ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(starts, ends, values)`` arrays partitioning ``[0, horizon)``.
 
-    Thin wrapper over :meth:`~repro.sim.monitor.StepSeries.segments`, the
-    canonical decomposition the statistics are computed from — rotation
-    and envelopes must agree with it bit for bit.
+    The vectorized twin of :meth:`~repro.sim.monitor.StepSeries.segments`
+    (same boundaries, same values, no arithmetic) — rotation and
+    envelopes must agree with the statistics' decomposition bit for bit.
     """
-    return list(series.segments(0.0, horizon))
+    times, values = series._data()
+    lo = int(np.searchsorted(times, 0.0, side="right"))
+    hi = int(np.searchsorted(times, horizon, side="left"))
+    starts = np.empty(hi - lo + 1, dtype=float)
+    starts[0] = 0.0
+    starts[1:] = times[lo:hi]
+    ends = np.empty(hi - lo + 1, dtype=float)
+    ends[:-1] = times[lo:hi]
+    ends[-1] = horizon
+    seg_values = np.empty(hi - lo + 1, dtype=float)
+    seg_values[0] = values[lo - 1] if lo > 0 else 0.0
+    seg_values[1:] = values[lo:hi]
+    return starts, ends, seg_values
 
 
 def phase_envelope(series: StepSeries, horizon: float,
@@ -184,22 +196,26 @@ def phase_envelope(series: StepSeries, horizon: float,
     Bin ``b`` covers ``[b * bin_s, (b + 1) * bin_s)``; its envelope value
     is the *maximum* signal value attained inside, so summed envelopes
     upper-bound the summed signals — the property the feeder plane's
-    claim objective relies on.
+    claim objective relies on.  One vectorized slice-max per constant
+    segment (not one Python comparison per bin), same floats as the
+    scalar loop it replaced.
     """
     # The tiny slack keeps exact divisions (the usual case — see
     # coordinate_fleet's bin snapping) from spilling into an extra bin
     # through float rounding.
     bins = int(math.ceil(horizon / bin_s - 1e-9))
-    envelope = [0.0] * bins
-    for start, end, value in _series_segments(series, horizon):
+    envelope = np.zeros(bins, dtype=float)
+    starts, ends, values = _segment_table(series, horizon)
+    for start, end, value in zip(starts.tolist(), ends.tolist(),
+                                 values.tolist()):
         if value <= 0.0:
             continue
         first = int(start // bin_s)
         last = min(int(math.ceil(end / bin_s)), bins)
-        for b in range(first, last):
-            if value > envelope[b]:
-                envelope[b] = value
-    return tuple(envelope)
+        if first < last:
+            np.maximum(envelope[first:last], value,
+                       out=envelope[first:last])
+    return tuple(envelope.tolist())
 
 
 def rotate_series(series: StepSeries, offset: float, horizon: float,
@@ -212,27 +228,28 @@ def rotate_series(series: StepSeries, offset: float, horizon: float,
     permutes the constant segments without changing their durations or
     values, so the integral (energy), the time-weighted distribution and
     the peak over ``[0, horizon)`` are all preserved.
+
+    Vectorized (segment shift, lexsort, record-semantics dedup via
+    :func:`repro.neighborhood.aggregate.dedup_records`) and bit-identical
+    to the scalar record loop it replaced.
     """
-    out = StepSeries(name if name is not None else series.name)
+    from repro.neighborhood.aggregate import dedup_records
+    out_name = name if name is not None else series.name
     offset = offset % horizon
+    starts, ends, values = _segment_table(series, horizon)
     if offset == 0.0:
-        for start, _end, value in _series_segments(series, horizon):
-            out.record(start, value)
-        return out
-    shifted: list[tuple[float, float]] = []
-    for start, end, value in _series_segments(series, horizon):
-        new_start = start + offset
-        new_end = end + offset
-        if new_start >= horizon:
-            shifted.append((new_start - horizon, value))
-        elif new_end > horizon:
-            shifted.append((new_start, value))
-            shifted.append((0.0, value))
-        else:
-            shifted.append((new_start, value))
-    for start, value in sorted(shifted):
-        out.record(start, value)
-    return out
+        times, kept = dedup_records(starts, values)
+        return StepSeries.from_arrays(out_name, times, kept)
+    new_starts = starts + offset
+    wrapped = new_starts >= horizon
+    split = ~wrapped & (ends + offset > horizon)
+    entry_times = np.concatenate([
+        np.where(wrapped, new_starts - horizon, new_starts),
+        np.zeros(int(split.sum()), dtype=float)])
+    entry_values = np.concatenate([values, values[split]])
+    order = np.lexsort((entry_values, entry_times))
+    times, kept = dedup_records(entry_times[order], entry_values[order])
+    return StepSeries.from_arrays(out_name, times, kept)
 
 
 # ---------------------------------------------------------------------------
@@ -240,18 +257,28 @@ def rotate_series(series: StepSeries, offset: float, horizon: float,
 # ---------------------------------------------------------------------------
 
 class FeederPlane:
-    """The feeder-level :class:`~repro.st.rounds.CpApplication`.
+    """The feeder-level claim plane, one gateway per home.
 
-    One *gateway* per home plugs into a CP driver exactly the way
-    :class:`~repro.core.system.HanSystem` plugs per-DI agents in: the
-    driver calls :meth:`cp_payload` to gather every gateway's
-    :class:`HomeItem` and :meth:`cp_deliver` to hand each gateway the
-    round's packets.  Claims are made one by one — the gateway whose
-    ``home_id`` matches the round index (round-robin token) re-claims its
-    phase offset against the envelopes everyone else published, mirroring
-    the paper's one-by-one admission order.  A claim is only moved when it
-    *strictly* lowers the projected feeder peak, so the negotiation is a
-    descent on a finite lattice and always converges.
+    Claims are made one by one — the gateway whose ``home_id`` matches
+    the round index (round-robin token) re-claims its phase offset
+    against the envelopes everyone else published, mirroring the paper's
+    one-by-one admission order.  A claim is only moved when it *strictly*
+    lowers the projected feeder peak, so the negotiation is a descent on
+    a finite lattice and always converges.
+
+    The rounds used to be driven through
+    :class:`~repro.st.rounds.IdealCP` with every gateway re-sharing its
+    full :class:`HomeItem` every round; at fleet scale (N≥500) that
+    all-to-all merge was O(N³) per sweep and dominated the whole run.
+    Because IdealCP delivery is loss-free, every gateway's merged view is
+    simply "each home's latest claim", so :meth:`run_round` now evolves
+    that shared state directly — same claim sequence bit for bit (the
+    per-home rolled envelopes are cached and re-summed in home order at
+    every claim, never incrementally updated, so no float drift) — and
+    :func:`negotiate_offsets` accounts the identical
+    :class:`~repro.st.rounds.CpStats` the driver produced.
+    :class:`HomeItem` remains the wire format the stats meter airtime
+    against.
     """
 
     def __init__(self, home_ids: Sequence[int],
@@ -264,49 +291,37 @@ class FeederPlane:
         self._envelopes = {home: np.asarray(envelopes[home], dtype=float)
                            for home in self.home_ids}
         self.claims: dict[int, int] = {home: 0 for home in self.home_ids}
-        self._versions: dict[int, int] = {home: 1 for home in self.home_ids}
-        self._views: dict[int, dict[int, HomeItem]] = {
-            home: {} for home in self.home_ids}
+        #: each home's envelope rolled by its current claim — what the
+        #: other gateways' merged views hold for it
+        self._rolled = {home: np.roll(self._envelopes[home], 0)
+                        for home in self.home_ids}
         self.sweep_changed = False
 
-    # -- CpApplication interface ------------------------------------------------
-
-    def cp_payload(self, node: int, round_index: int) -> HomeItem:
-        """The gateway's current item (always fresh: claims are cheap)."""
+    def item(self, node: int) -> HomeItem:
+        """The gateway's current :class:`HomeItem` (the wire form)."""
         envelope = self._envelopes[node]
-        return HomeItem(home_id=node, version=self._versions[node],
-                        shift=self.claims[node],
+        return HomeItem(home_id=node, version=1, shift=self.claims[node],
                         envelope=tuple(envelope),
                         peak_w=float(envelope.max(initial=0.0)))
 
-    def cp_deliver(self, node: int, packets: dict[int, HomeItem],
-                   round_index: int) -> None:
-        """Merge the round's items; re-claim if ``node`` holds the token."""
-        view = self._views[node]
-        for origin, item in packets.items():
-            known = view.get(origin)
-            if known is None or item.version > known.version:
-                view[origin] = item
+    def run_round(self, round_index: int) -> None:
+        """One feeder round: the round-robin token holder re-claims."""
         token = self.home_ids[round_index % len(self.home_ids)]
-        if node != token:
-            return
-        best = self._best_shift(node)
-        if best != self.claims[node]:
-            self.claims[node] = best
-            self._versions[node] += 1
+        best = self._best_shift(token)
+        if best != self.claims[token]:
+            self.claims[token] = best
+            self._rolled[token] = np.roll(self._envelopes[token], best)
             self.sweep_changed = True
 
     # -- the claim rule ----------------------------------------------------------
 
     def _combined_others(self, node: int) -> np.ndarray:
         """Projected feeder load per bin from everyone else's claims."""
-        view = self._views[node]
         combined = np.zeros(len(self._envelopes[node]), dtype=float)
-        for origin, item in view.items():
-            if origin == node:
+        for home in self.home_ids:
+            if home == node:
                 continue
-            combined += np.roll(np.asarray(item.envelope, dtype=float),
-                                item.shift)
+            combined += self._rolled[home]
         return combined
 
     def _best_shift(self, node: int) -> int:
@@ -336,29 +351,33 @@ def negotiate_offsets(home_ids: Sequence[int],
                       shifts: int,
                       config: FeederConfig,
                       ) -> tuple[dict[int, int], CpStats, int]:
-    """Run feeder CP rounds until the claims converge.
+    """Run feeder claim rounds until the claims converge.
 
-    Drives a :class:`FeederPlane` with the in-home round machinery
-    (:class:`~repro.st.rounds.IdealCP` on a private simulator), one claim
-    token per round, until a full sweep moves no claim or
-    :attr:`FeederConfig.max_sweeps` is reached.  Returns the claimed
-    shifts (bins) per home, the CP round statistics and the number of
-    sweeps run.
+    One claim token per round (n rounds to a sweep), until a full sweep
+    moves no claim or :attr:`FeederConfig.max_sweeps` is reached.
+    Returns the claimed shifts (bins) per home, the CP round statistics
+    — identical to what driving the plane through
+    :class:`~repro.st.rounds.IdealCP` produced (every round is active,
+    all n items reach all n gateways) — and the number of sweeps run.
     """
     plane = FeederPlane(home_ids, envelopes, shifts)
-    sim = Simulator()
-    cp = IdealCP(sim, plane, home_ids, period=config.period)
-    cp.start()
     n = len(plane.home_ids)
+    stats = CpStats()
+    round_index = 0
     sweeps = 0
-    for sweep in range(config.max_sweeps):
+    for _sweep in range(config.max_sweeps):
         plane.sweep_changed = False
-        # Rounds sweep*n .. sweep*n + n − 1 run at round_index * period.
-        sim.run(until=((sweep + 1) * n - 1) * config.period)
+        # Rounds sweep*n .. sweep*n + n − 1, one token claim each.
+        for _round in range(n):
+            stats.rounds_total += 1
+            stats.rounds_active += 1
+            stats.deliveries += n * n
+            plane.run_round(round_index)
+            round_index += 1
         sweeps += 1
         if not plane.sweep_changed:
             break
-    return dict(plane.claims), cp.stats, sweeps
+    return dict(plane.claims), stats, sweeps
 
 
 # ---------------------------------------------------------------------------
@@ -368,6 +387,7 @@ def negotiate_offsets(home_ids: Sequence[int],
 def coordinate_fleet(fleet: "FleetSpec", results: Sequence[RunResult],
                      horizon: float,
                      config: Optional[FeederConfig] = None,
+                     partials: Optional[Sequence[object]] = None,
                      ) -> FeederCoordination:
     """Negotiate and apply cross-home phase offsets for a finished run.
 
@@ -376,6 +396,12 @@ def coordinate_fleet(fleet: "FleetSpec", results: Sequence[RunResult],
     fan-out in :func:`~repro.neighborhood.federation.run_neighborhood`.
     Pure post-exchange: no randomness, no re-simulation, bit-identical
     for any worker count.
+
+    ``partials`` — the per-shard
+    :class:`~repro.neighborhood.aggregate.SeriesPartial` pre-reductions
+    of a sharded run, when available — let the independent baseline
+    profile fold from S shard columns instead of N homes; the value is
+    bit-identical either way.
     """
     if config is None:
         config = FeederConfig()
@@ -401,7 +427,11 @@ def coordinate_fleet(fleet: "FleetSpec", results: Sequence[RunResult],
                                                  shifts, config)
     planned = tuple(claims[home.home_id] * bin_s
                     for home in fleet.homes)
-    independent = sum_series([r.load_w for r in results])
+    if partials is not None:
+        independent = combine_partials(partials,
+                                       [r.load_w for r in results])
+    else:
+        independent = sum_series([r.load_w for r in results])
     rotated = [rotate_series(result.load_w, offset, horizon)
                for result, offset in zip(results, planned)]
     coordinated = sum_series(rotated)

@@ -27,9 +27,11 @@ from repro.experiments.runner import ParallelRunner, RunSpec
 from repro.neighborhood.aggregate import (
     FeederComparison,
     FeederStats,
+    combine_partials,
     feeder_stats,
     sum_series,
 )
+from repro.neighborhood.shard import execute_shards, plan_shards
 from repro.neighborhood.coordination import (
     FeederConfig,
     FeederCoordination,
@@ -64,6 +66,12 @@ class NeighborhoodResult:
     #: compiled from, when it came through the spec API (``None`` for
     #: hand-built fleets); exporters embed its hash + canonical JSON.
     spec: Optional[object] = field(default=None)
+    #: Per-home stats over the default ``[0, horizon)`` window, when the
+    #: shard workers pre-computed them (fleet order); :meth:`home_stats`
+    #: serves this cache for the default window — same code path in the
+    #: worker, so the values are bit-identical to computing them here.
+    precomputed_home_stats: Optional[list[LoadStats]] = \
+        field(default=None, repr=False)
 
     @property
     def contributions_w(self) -> list[StepSeries]:
@@ -86,6 +94,9 @@ class NeighborhoodResult:
         statistics under either coordination mode.
         """
         window_end = end if end is not None else self.horizon
+        if (self.precomputed_home_stats is not None and start == 0.0
+                and window_end == self.horizon):
+            return list(self.precomputed_home_stats)
         return [load_stats(result.load_w, start, window_end)
                 for result in self.homes]
 
@@ -181,7 +192,9 @@ def execute_fleet(fleet: FleetSpec, jobs: int = 1,
                   mp_context: Optional[str] = None,
                   coordination: str = "independent",
                   feeder: Optional[FeederConfig] = None,
-                  spec: Optional[object] = None) -> NeighborhoodResult:
+                  spec: Optional[object] = None,
+                  shard_size: Optional[int] = None,
+                  transport: Optional[str] = None) -> NeighborhoodResult:
     """Run every home of ``fleet`` (over ``jobs`` workers) and aggregate.
 
     This is the neighborhood execution primitive the spec API bottoms
@@ -201,25 +214,48 @@ def execute_fleet(fleet: FleetSpec, jobs: int = 1,
     (optionally tuned by a
     :class:`~repro.neighborhood.coordination.FeederConfig`) and sums the
     re-phased homes instead.
+
+    ``shard_size`` / ``transport`` tune the fleet-scale execution
+    strategy (see :mod:`repro.neighborhood.shard`): large fleets are
+    auto-sharded so each worker runs a whole sub-fleet, pre-reduces it
+    locally and ships one batched series frame; ``shard_size=0`` forces
+    the per-home path.  Pure execution knobs — results are bit-identical
+    for every combination.
     """
     if coordination not in COORDINATION_MODES:
         known = ", ".join(COORDINATION_MODES)
         raise ValueError(
             f"coordination must be one of: {known}; got {coordination!r}")
-    specs = [RunSpec(name=home.scenario.name, config=home.config(),
-                     until=until)
-             for home in fleet.homes]
-    results = ParallelRunner(jobs=jobs, mp_context=mp_context).run(specs)
     horizon = until if until is not None else fleet.horizon
+    shards = plan_shards(fleet, until=until, shard_size=shard_size,
+                         jobs=jobs, transport=transport)
+    partials = None
+    home_stats = None
+    if shards is not None:
+        results, partials, home_stats = execute_shards(
+            shards, jobs=jobs, mp_context=mp_context)
+    else:
+        specs = [RunSpec(name=home.scenario.name, config=home.config(),
+                         until=until)
+                 for home in fleet.homes]
+        results = ParallelRunner(jobs=jobs,
+                                 mp_context=mp_context).run(specs)
     if coordination == "feeder":
-        plan = coordinate_fleet(fleet, results, horizon, config=feeder)
+        plan = coordinate_fleet(fleet, results, horizon, config=feeder,
+                                partials=partials)
         return NeighborhoodResult(fleet=fleet, homes=results,
                                   feeder_w=plan.coordinated_w,
                                   horizon=horizon, coordination=plan,
-                                  spec=spec)
-    feeder_w = sum_series([result.load_w for result in results])
+                                  spec=spec,
+                                  precomputed_home_stats=home_stats)
+    if partials is not None:
+        feeder_w = combine_partials(
+            partials, [result.load_w for result in results])
+    else:
+        feeder_w = sum_series([result.load_w for result in results])
     return NeighborhoodResult(fleet=fleet, homes=results, feeder_w=feeder_w,
-                              horizon=horizon, spec=spec)
+                              horizon=horizon, spec=spec,
+                              precomputed_home_stats=home_stats)
 
 
 def run_neighborhood(fleet: FleetSpec, jobs: int = 1,

@@ -1,0 +1,217 @@
+"""Sharded neighborhood execution: fleets lowered to per-shard sub-specs.
+
+At N≥500 homes the fan-out itself becomes the cost: one dispatch, one
+result pickle and one parent-side aggregation step *per home*.  Sharding
+re-cuts the work so every unit is a contiguous **sub-fleet**:
+
+* :func:`shard_fleet` lowers a :class:`~repro.neighborhood.fleet.FleetSpec`
+  into per-shard sub-specs (``<fleet>/shard<i>`` slices) — the
+  declarative layer exposes the same lowering as
+  :func:`repro.api.compile.compile_shards`;
+* each persistent-pool worker (:func:`_execute_shard`) runs its whole
+  shard and **pre-reduces locally**: the shard's compensated partial
+  feeder sum (:func:`~repro.neighborhood.aggregate.partial_sum`) and the
+  per-home scalar :class:`~repro.analysis.loadstats.LoadStats`, so the
+  parent aggregates S partials instead of N homes;
+* per-home series travel as **one batched frame per shard**
+  (:mod:`repro.neighborhood.transport`) instead of N per-home pickles.
+
+Sharding is an execution strategy, never an experiment parameter:
+results are bit-identical for every ``(shard_size, jobs, transport)``
+combination — the feeder profile is the correctly rounded per-event sum
+regardless of partitioning (see
+:func:`~repro.neighborhood.aggregate.combine_partials`), and home runs
+are independently seeded.  ``tests/test_fleet_sharding.py`` locks the
+invariance by digest.
+"""
+
+from __future__ import annotations
+
+import math
+import traceback
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+from repro.analysis.loadstats import LoadStats, load_stats
+from repro.core.system import RunResult, execute_config
+from repro.neighborhood.aggregate import SeriesPartial, partial_sum
+from repro.neighborhood.fleet import FleetSpec
+from repro.neighborhood.transport import SeriesFrame, pack_series, \
+    unpack_series
+
+#: Fleets smaller than this stay on the per-home path by default —
+#: dispatch and aggregation overhead only dominates at fleet scale.
+AUTO_SHARD_MIN_HOMES = 64
+#: Auto shard size for in-process (``jobs=1``) fleet runs.
+DEFAULT_SHARD_SIZE = 64
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's complete, picklable work order: a sub-fleet to run.
+
+    ``transport`` selects the series wire format
+    (:data:`repro.neighborhood.transport.TRANSPORTS`); ``None`` keeps
+    results in-process (the ``jobs=1`` fast path — no frame, no pickle).
+    """
+
+    index: int
+    fleet: FleetSpec
+    until: Optional[float]
+    #: stats window end — per-home :class:`LoadStats` cover ``[0, horizon)``
+    horizon: float
+    transport: Optional[str] = None
+
+
+@dataclass
+class ShardOutcome:
+    """What one shard worker hands back, pre-reduced.
+
+    ``homes`` ride with their ``load_w`` stripped when ``frame`` is set
+    (the series travel batched); :func:`execute_shards` re-attaches the
+    unpacked views before anyone downstream sees the results.
+    """
+
+    index: int
+    homes: list[RunResult]
+    frame: Optional[SeriesFrame]
+    partial: SeriesPartial
+    home_stats: list[LoadStats]
+
+
+def shard_fleet(fleet: FleetSpec, shard_size: int) -> list[FleetSpec]:
+    """Lower a fleet into contiguous per-shard sub-fleets (sub-specs).
+
+    Slicing preserves home identity completely — each
+    :class:`~repro.neighborhood.fleet.HomeSpec` carries its own derived
+    seed and scenario — so running the sub-fleets in any grouping
+    reproduces the unsharded fleet bit for bit.
+    """
+    if shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    return [replace(fleet, name=f"{fleet.name}/shard{index}",
+                    homes=fleet.homes[start:start + shard_size])
+            for index, start in enumerate(
+                range(0, fleet.n_homes, shard_size))]
+
+
+def plan_shards(fleet: FleetSpec, until: Optional[float] = None,
+                shard_size: Optional[int] = None, jobs: int = 1,
+                transport: Optional[str] = None,
+                ) -> Optional[list[ShardSpec]]:
+    """Decide the shard layout for one fleet run (``None`` = don't shard).
+
+    ``shard_size=None`` auto-shards fleets of
+    :data:`AUTO_SHARD_MIN_HOMES`+ homes — ``jobs``-aware so every worker
+    sees several shards (load balancing, same policy as
+    :func:`repro.experiments.pool.dispatch_chunksize`); ``0`` forces the
+    per-home path; any other value is used as given.  ``transport``
+    overrides the wire format for cross-process shards.
+    """
+    n_homes = fleet.n_homes
+    if shard_size is None:
+        if n_homes < AUTO_SHARD_MIN_HOMES:
+            return None
+        if jobs <= 1:
+            size = DEFAULT_SHARD_SIZE
+        else:
+            from repro.experiments.pool import CHUNKS_PER_WORKER
+            size = max(1, math.ceil(n_homes / (jobs * CHUNKS_PER_WORKER)))
+    elif shard_size == 0:
+        return None
+    else:
+        if shard_size < 1:
+            raise ValueError(
+                f"shard_size must be >= 0, got {shard_size}")
+        size = shard_size
+    sub_fleets = shard_fleet(fleet, size)
+    horizon = until if until is not None else fleet.horizon
+    in_process = jobs == 1 or len(sub_fleets) == 1
+    wire = None
+    if not in_process:
+        from repro.neighborhood.transport import pick_transport
+        wire = pick_transport(transport)
+    return [ShardSpec(index=index, fleet=sub_fleet, until=until,
+                      horizon=horizon, transport=wire)
+            for index, sub_fleet in enumerate(sub_fleets)]
+
+
+def _execute_shard(spec: ShardSpec) -> tuple:
+    """Worker body: run every home of the shard, pre-reduce, pack.
+
+    Module-level and returning ``(status, name, payload)`` triples for
+    the same reasons as
+    :func:`repro.experiments.runner._execute_run_spec`; a failing home
+    names itself, not the shard, so
+    :class:`~repro.experiments.runner.WorkerFailure` messages stay as
+    precise as on the per-home path.
+    """
+    results: list[RunResult] = []
+    for home in spec.fleet.homes:
+        try:
+            results.append(
+                execute_config(home.config(), until=spec.until).portable())
+        except Exception:
+            return ("err", home.scenario.name, traceback.format_exc())
+    try:
+        series = [result.load_w for result in results]
+        partial = partial_sum(series)
+        stats = [load_stats(result.load_w, 0.0, spec.horizon)
+                 for result in results]
+        if spec.transport is None:
+            outcome = ShardOutcome(index=spec.index, homes=results,
+                                   frame=None, partial=partial,
+                                   home_stats=stats)
+        else:
+            frame = pack_series(series, spec.transport)
+            stripped = [replace(result, load_w=None)
+                        for result in results]
+            outcome = ShardOutcome(index=spec.index, homes=stripped,
+                                   frame=frame, partial=partial,
+                                   home_stats=stats)
+        return ("ok", spec.fleet.name, outcome)
+    except Exception:
+        return ("err", spec.fleet.name, traceback.format_exc())
+
+
+def execute_shards(shards: Sequence[ShardSpec], jobs: int = 1,
+                   mp_context: Optional[str] = None,
+                   ) -> tuple[list[RunResult], list[SeriesPartial],
+                              list[LoadStats]]:
+    """Run every shard and fan the pre-reduced pieces back in.
+
+    Returns ``(home_results, shard_partials, home_stats)``, all in fleet
+    order.  Cross-process shards come back as one frame each; the
+    series are re-attached as zero-copy views before return.
+    """
+    from repro.experiments.runner import ParallelRunner, WorkerFailure
+    shards = list(shards)
+    if not shards:
+        return [], [], []
+    runner = ParallelRunner(jobs=jobs, mp_context=mp_context)
+    triples = runner.execute(_execute_shard, shards)
+    homes: list[RunResult] = []
+    partials: list[SeriesPartial] = []
+    home_stats: list[LoadStats] = []
+    failure: Optional[tuple[str, str]] = None
+    # Adopt every completed shard's frame *before* surfacing a failure:
+    # unpack_series unlinks the shared-memory segment, so a failing
+    # sibling shard can never strand the finished ones' blocks in
+    # /dev/shm for the life of the (persistent-pool) process.
+    for status, name, payload in triples:
+        if status == "err":
+            if failure is None:
+                failure = (name, payload)
+            continue
+        outcome: ShardOutcome = payload
+        if outcome.frame is not None:
+            series = unpack_series(outcome.frame)
+            outcome.homes = [replace(result, load_w=one)
+                             for result, one in zip(outcome.homes,
+                                                    series)]
+        homes.extend(outcome.homes)
+        partials.append(outcome.partial)
+        home_stats.extend(outcome.home_stats)
+    if failure is not None:
+        raise WorkerFailure(*failure)
+    return homes, partials, home_stats

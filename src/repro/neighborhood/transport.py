@@ -1,0 +1,187 @@
+"""Batched result transport for fleet-scale neighborhood runs.
+
+Per-home pickles were measured fine at N=200 (~8 kB/home, <1 % of the
+run), but at N≥500 the per-object serialisation — one ``StepSeries``
+pickle per home, each a separate dispatch through the result pipe —
+becomes pure overhead on the hot fan-in path.  This module replaces N
+per-home series pickles with **one frame per shard**:
+
+* the worker concatenates every series' ``(times, values)`` arrays into
+  a single ``float64`` block — a :class:`SeriesFrame` records the
+  per-series lengths plus where the block lives;
+* with the ``"shm"`` transport the block is a
+  :mod:`multiprocessing.shared_memory` segment: the parent re-maps it
+  and hands out **zero-copy NumPy views** — every bulk consumer
+  (aggregation, coordination, statistics) reads the mapped arrays
+  directly; the O(events) plain-list twin each series also carries is
+  for the scalar paths and is negligible at fleet event densities — and
+  the segment is unlinked immediately after attach,
+  garbage-collecting with the last series viewing it;
+* the ``"pickle"`` fallback ships the same block as one ``bytes`` blob
+  through the ordinary result pipe — still one frame per shard, and the
+  parent's ``np.frombuffer`` views are zero-copy over the blob.
+
+Transport never touches values: both paths carry the exact recorded
+float64 bits, so results are bit-identical across transports — the
+shard-invariance tests run the same fleet through both and diff digests.
+
+Selection: :func:`pick_transport` prefers shared memory when the
+platform offers it and honours ``REPRO_FLEET_TRANSPORT``
+(``shm``/``pickle``) for explicit control.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.sim.monitor import StepSeries
+
+#: Environment variable forcing a transport (one of :data:`TRANSPORTS`).
+TRANSPORT_ENV = "REPRO_FLEET_TRANSPORT"
+#: The wire formats a frame can travel over.
+TRANSPORTS = ("shm", "pickle")
+
+
+def shared_memory_available() -> bool:
+    """Whether POSIX shared memory can actually be allocated here.
+
+    Importing :mod:`multiprocessing.shared_memory` can succeed on
+    platforms whose ``/dev/shm`` is absent or unwritable (minimal
+    containers), so probe by allocating one tiny segment.
+    """
+    try:
+        from multiprocessing import shared_memory
+        probe = shared_memory.SharedMemory(create=True, size=8)
+    except (ImportError, OSError):
+        return False
+    try:
+        probe.unlink()
+    except OSError:  # pragma: no cover - race with a cleaner
+        pass
+    probe.close()
+    return True
+
+
+def pick_transport(requested: Optional[str] = None) -> str:
+    """Resolve the transport to use: explicit arg > env > probe.
+
+    ``requested`` (or ``$REPRO_FLEET_TRANSPORT``) must be one of
+    :data:`TRANSPORTS`; ``None`` auto-selects ``"shm"`` when available,
+    ``"pickle"`` otherwise.
+    """
+    choice = requested if requested is not None \
+        else os.environ.get(TRANSPORT_ENV) or None
+    if choice is not None:
+        if choice not in TRANSPORTS:
+            known = ", ".join(TRANSPORTS)
+            raise ValueError(
+                f"transport must be one of: {known}; got {choice!r}")
+        return choice
+    return "shm" if shared_memory_available() else "pickle"
+
+
+@dataclass
+class SeriesFrame:
+    """Many step series batched into one contiguous transport block.
+
+    Layout: a ``(2, total)`` float64 array — row 0 the concatenated
+    event times, row 1 the concatenated values — with ``lengths[i]``
+    spans in series order.  Exactly one of ``shm_name`` (shared-memory
+    transport) or ``blob`` (pickle transport) is set; the frame itself
+    pickles either way (a name string, or the raw block bytes).
+    """
+
+    names: tuple[str, ...]
+    lengths: tuple[int, ...]
+    shm_name: Optional[str] = None
+    blob: Optional[bytes] = None
+
+    @property
+    def total(self) -> int:
+        """Total number of ``(time, value)`` records in the block."""
+        return sum(self.lengths)
+
+
+def pack_series(series_list: Sequence[StepSeries],
+                transport: str) -> SeriesFrame:
+    """Batch ``series_list`` into one frame (worker side).
+
+    With ``transport="shm"`` the block is written into a fresh
+    shared-memory segment that stays registered with the resource
+    tracker until the parent adopts it (:func:`unpack_series`) — a
+    worker crashing between pack and unpack is cleaned up at interpreter
+    shutdown rather than leaking the segment.  Falls back to the
+    ``bytes`` blob if the segment cannot be allocated.
+    """
+    names = tuple(series.name for series in series_list)
+    lengths = tuple(len(series) for series in series_list)
+    total = sum(lengths)
+    block = np.empty((2, max(total, 1)), dtype=np.float64)
+    cursor = 0
+    for series in series_list:
+        times, values = series._data()
+        span = times.size
+        block[0, cursor:cursor + span] = times
+        block[1, cursor:cursor + span] = values
+        cursor += span
+    if transport == "shm":
+        try:
+            from multiprocessing import shared_memory
+            segment = shared_memory.SharedMemory(create=True,
+                                                 size=block.nbytes)
+        except (ImportError, OSError):
+            segment = None
+        if segment is not None:
+            mapped = np.ndarray(block.shape, dtype=np.float64,
+                                buffer=segment.buf)
+            mapped[:] = block
+            name = segment.name
+            segment.close()
+            return SeriesFrame(names=names, lengths=lengths,
+                               shm_name=name)
+    elif transport != "pickle":
+        known = ", ".join(TRANSPORTS)
+        raise ValueError(
+            f"transport must be one of: {known}; got {transport!r}")
+    return SeriesFrame(names=names, lengths=lengths,
+                       blob=block.tobytes())
+
+
+def unpack_series(frame: SeriesFrame) -> list[StepSeries]:
+    """Rebuild the batched series from a frame (parent side), zero-copy.
+
+    Shared-memory frames are re-mapped, immediately unlinked (the name
+    disappears; the mapping lives on), and the segment object rides
+    along as each series' ``hold`` so the block is reclaimed exactly
+    when the last series viewing it is.  Pickle frames view the blob via
+    ``np.frombuffer`` — also copy-free.
+    """
+    total = frame.total
+    hold: Optional[object] = None
+    if frame.shm_name is not None:
+        from multiprocessing import shared_memory
+        segment = shared_memory.SharedMemory(name=frame.shm_name)
+        try:
+            segment.unlink()
+        except OSError:  # pragma: no cover - already cleaned elsewhere
+            pass
+        block = np.ndarray((2, max(total, 1)), dtype=np.float64,
+                           buffer=segment.buf)
+        hold = segment
+    else:
+        block = np.frombuffer(frame.blob,
+                              dtype=np.float64).reshape(2, -1)
+    series_list: list[StepSeries] = []
+    cursor = 0
+    for name, span in zip(frame.names, frame.lengths):
+        series_list.append(StepSeries.from_arrays(
+            name,
+            block[0, cursor:cursor + span],
+            block[1, cursor:cursor + span],
+            hold=hold))
+        cursor += span
+    return series_list

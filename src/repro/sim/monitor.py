@@ -27,7 +27,7 @@ import numpy as np
 class StepSeries:
     """A right-open piecewise-constant time series."""
 
-    __slots__ = ("name", "_times", "_values", "_arrays", "_views")
+    __slots__ = ("name", "_times", "_values", "_arrays", "_views", "_hold")
 
     def __init__(self, name: str = ""):
         self.name = name
@@ -39,6 +39,10 @@ class StepSeries:
         #: :attr:`times` / :attr:`values` properties
         self._views: Optional[tuple[tuple[float, ...],
                                     tuple[float, ...]]] = None
+        #: opaque owner of externally backed arrays (e.g. the shared
+        #: memory block a transport frame unpacked this series from);
+        #: referenced only so the backing outlives every view of it
+        self._hold: Optional[object] = None
 
     # -- recording ----------------------------------------------------------
 
@@ -63,6 +67,36 @@ class StepSeries:
         self._arrays = None
         self._views = None
 
+    @classmethod
+    def from_arrays(cls, name: str, times: np.ndarray,
+                    values: np.ndarray,
+                    hold: Optional[object] = None) -> "StepSeries":
+        """Build a series directly from already-recorded arrays.
+
+        The bulk constructor for transport and aggregation: ``times`` must
+        be strictly increasing and ``values`` free of consecutive
+        duplicates — i.e. exactly what replaying the pairs through
+        :meth:`record` would keep (callers that hold raw event streams
+        normalize through :func:`repro.neighborhood.aggregate.dedup_records`
+        first).  The arrays are adopted as the series' cached ndarray
+        form, so vectorized consumers (statistics, sampling, feeder
+        aggregation) read them zero-copy; the plain-list form is
+        materialized once, keeping every scalar path (``record``, ``at``,
+        pickling) identical to a recorded series.
+
+        ``hold`` is kept referenced for the series' lifetime — pass the
+        object owning externally backed arrays (a shared-memory block) so
+        the backing cannot be reclaimed while views of it live.
+        """
+        series = cls(name)
+        times = np.asarray(times, dtype=float)
+        values = np.asarray(values, dtype=float)
+        series._times = times.tolist()
+        series._values = values.tolist()
+        series._arrays = (times, values)
+        series._hold = hold
+        return series
+
     def __len__(self) -> int:
         return len(self._times)
 
@@ -78,6 +112,7 @@ class StepSeries:
         self.name, self._times, self._values = state
         self._arrays = None
         self._views = None
+        self._hold = None
 
     @property
     def times(self) -> Sequence[float]:

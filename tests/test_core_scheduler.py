@@ -315,3 +315,104 @@ def test_plan_memo_distinguishes_now_and_view():
                        announcement(11, 2, arrival=1.0)])
     plan_admissions(grown, cfg, now=0.0)  # same now, different view
     assert len(_PLAN_MEMO) == 3
+
+
+# -- view-diff incremental planning (PR 5) ------------------------------------
+
+
+def _fresh_caches():
+    from repro.core import scheduler as sched
+    sched._PLAN_MEMO.clear()
+    sched._PLAN_TRACES.clear()
+
+
+def _cold_plan(view, cfg, now):
+    """Plan with every reuse layer dropped — the ground-truth pass."""
+    _fresh_caches()
+    return plan_admissions(view, cfg, now)
+
+
+def test_suffix_replan_matches_cold_plan_on_pending_extension():
+    """Trace reuse: same statuses, one extra trailing announcement."""
+    statuses = [status(1), status(2), status(3)]
+    shorter = view_with(statuses=statuses,
+                        announcements=[announcement(10, 1, arrival=1.0),
+                                       announcement(11, 2, arrival=2.0)])
+    longer = view_with(statuses=statuses,
+                       announcements=[announcement(10, 1, arrival=1.0),
+                                      announcement(11, 2, arrival=2.0),
+                                      announcement(12, 3, arrival=3.0)])
+    expected_short = _cold_plan(shorter, config(), 5.0)
+    expected_long = _cold_plan(longer, config(), 5.0)
+    _fresh_caches()
+    assert plan_admissions(shorter, config(), 5.0) == expected_short
+    # Second pass rides the first one's trace; must stay bit-identical.
+    assert plan_admissions(longer, config(), 5.0) == expected_long
+    # And in reverse order (prefix replay instead of extension).
+    _fresh_caches()
+    assert plan_admissions(longer, config(), 5.0) == expected_long
+    assert plan_admissions(shorter, config(), 5.0) == expected_short
+
+
+def test_suffix_replan_matches_cold_plan_on_divergent_tail():
+    """Two DIs missed different announcements: shared prefix, forked tail."""
+    statuses = [status(1), status(2), status(3), status(4)]
+    base = [announcement(20, 1, arrival=1.0),
+            announcement(21, 2, arrival=2.0)]
+    fork_a = view_with(statuses=statuses,
+                       announcements=base + [announcement(22, 3,
+                                                          arrival=3.0)])
+    fork_b = view_with(statuses=statuses,
+                       announcements=base + [announcement(23, 4,
+                                                          arrival=3.5)])
+    expected_a = _cold_plan(fork_a, config(), 4.0)
+    expected_b = _cold_plan(fork_b, config(), 4.0)
+    _fresh_caches()
+    assert plan_admissions(fork_a, config(), 4.0) == expected_a
+    assert plan_admissions(fork_b, config(), 4.0) == expected_b
+    # The forked pass must not have corrupted the original trace.
+    assert plan_admissions(fork_a, config(), 4.0) == expected_a
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_randomized_trace_reuse_is_bit_identical(data):
+    """Any interleaving of prefix-sharing views plans like a cold pass."""
+    n_devices = data.draw(st.integers(2, 5))
+    statuses = [status(d, active=data.draw(st.booleans()),
+                       remaining=1, burst=100.0)
+                if data.draw(st.booleans()) else status(d)
+                for d in range(1, n_devices + 1)]
+    statuses = [s if not s.active else
+                status(s.device_id, active=True, remaining=1, burst=100.0)
+                for s in statuses]
+    pool = [announcement(30 + i, data.draw(st.integers(1, n_devices)),
+                         arrival=float(i))
+            for i in range(data.draw(st.integers(1, 6)))]
+    cuts = sorted(data.draw(
+        st.lists(st.integers(0, len(pool)), min_size=2, max_size=4)))
+    views = [view_with(statuses=statuses, announcements=pool[:cut])
+             for cut in cuts]
+    now = data.draw(st.sampled_from([0.0, 50.0]))
+    expected = [_cold_plan(view, config(), now) for view in views]
+    _fresh_caches()
+    order = data.draw(st.permutations(range(len(views))))
+    for index in order:
+        assert plan_admissions(views[index], config(), now) \
+            == expected[index], index
+
+
+def test_view_change_epoch_advances_only_on_effective_change():
+    view = SharedView()
+    item = CpItem(status(1, version=1), (announcement(5, 1),))
+    before = view.change_epoch
+    assert view.merge_item(item)
+    after_first = view.change_epoch
+    assert after_first > before
+    assert not view.merge_item(item)  # idempotent re-delivery
+    assert view.change_epoch == after_first
+    key_one = view.plan_key()
+    assert view.plan_key() is key_one  # cached while the view is quiet
+    assert view.merge_item(CpItem(status(1, version=2, last_admitted=5)))
+    assert view.change_epoch > after_first
+    assert view.plan_key() is not key_one

@@ -237,3 +237,78 @@ def test_eviction_counts_index_orphans(tmp_path):
     run(tiny_spec(seed=2), cache=cache)  # put() must evict the orphan
     assert n_objects(cache) == 1
     assert cache.get(tiny_spec(seed=2)) is not None
+
+
+# -- persisted usage counters (`repro cache stats`) ---------------------------
+
+
+def test_stats_count_hits_misses_and_bytes(cache):
+    from repro.api.cache import CacheStats
+
+    assert cache.stats() == CacheStats()
+    run(tiny_spec(seed=1), cache=cache)           # miss + store
+    run(tiny_spec(seed=1), cache=cache)           # hit
+    run(tiny_spec(seed=1), cache=cache)           # hit
+    stats = cache.stats()
+    assert (stats.misses, stats.hits, stats.stores) == (1, 2, 1)
+    assert stats.lookups == 3
+    assert stats.hit_ratio == pytest.approx(2 / 3)
+    assert stats.bytes_written > 0
+    assert stats.bytes_read == pytest.approx(2 * stats.bytes_written)
+
+
+def test_stats_persist_across_instances(cache):
+    run(tiny_spec(seed=2), cache=cache)
+    reopened = ResultCache(cache.root)
+    assert reopened.stats().misses >= 1
+    assert reopened.stats().stores >= 1
+
+
+def test_stats_count_corrupt_entry_as_miss(cache):
+    run(tiny_spec(seed=3), cache=cache)
+    [entry] = cache.entries()
+    cache._object_path(entry.key).write_bytes(b"garbage")
+    assert cache.get(tiny_spec(seed=3)) is None
+    assert cache.stats().misses >= 2  # initial cold miss + corrupt read
+
+
+def test_stats_row_never_lists_as_entry(cache):
+    run(tiny_spec(seed=4), cache=cache)
+    cache.get(tiny_spec(seed=4))
+    names = [entry.name for entry in cache.entries()]
+    assert names == ["cache-single"]
+    assert cache.total_bytes() > 0
+
+
+def test_clear_resets_stats(cache):
+    run(tiny_spec(seed=5), cache=cache)
+    assert cache.stats().lookups > 0
+    cache.clear()
+    from repro.api.cache import CacheStats
+    assert cache.stats() == CacheStats()
+
+
+def test_stats_survive_damaged_row(cache):
+    """A mangled stats row degrades to fresh counters, never an error."""
+    run(tiny_spec(seed=6), cache=cache)
+    index = json.loads(cache.index_path.read_text())
+    index["#stats"] = {"hits": "NaN-ish", "misses": None}
+    cache.index_path.write_text(json.dumps(index))
+    stats = cache.stats()
+    assert stats.hits == 0 and stats.misses == 0
+    run(tiny_spec(seed=6), cache=cache)  # hit; counters resume from zero
+    assert cache.stats().hits == 1
+
+
+def test_cli_cache_stats_reports_counters(tmp_path, monkeypatch, capsys):
+    from repro.cli import main
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cli-stats"))
+    spec_file = tmp_path / "spec.json"
+    spec_file.write_text(tiny_spec().to_json())
+    assert main(["run", "--spec", str(spec_file)]) == 0   # miss + store
+    assert main(["run", "--spec", str(spec_file)]) == 0   # hit
+    capsys.readouterr()
+    assert main(["cache", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "hits" in out and "misses" in out
+    assert "hit ratio" in out and "0.50" in out

@@ -158,3 +158,61 @@ def test_registry_helper_orders_and_validates(shutdown_pools_after):
     [(exp_id, artefact)] = run_registry(["FIG1"], jobs=1)
     assert exp_id == "FIG1"
     assert "Communication Plane" in artefact.text
+
+
+# -- lifecycle: LRU shape cap + explicit shutdown -----------------------------
+
+
+def test_pool_shapes_capped_lru(shutdown_pools_after):
+    """Drawing more shapes than MAX_POOL_SHAPES closes the oldest one."""
+    from repro.experiments import pool as pool_module
+
+    pool_module.shutdown_all()
+    shapes = [(jobs, None) for jobs in
+              range(2, 2 + pool_module.MAX_POOL_SHAPES + 1)]
+    first = shared_pool(*shapes[0])
+    first.map(len, [(4, 2)])  # spin it up: eviction must really close it
+    assert first.alive
+    for jobs, ctx in shapes[1:]:
+        shared_pool(jobs, ctx)
+    assert len(pool_module._POOLS) == pool_module.MAX_POOL_SHAPES
+    # The least recently drawn shape was evicted and closed...
+    assert shapes[0] not in pool_module._POOLS
+    assert not first.alive
+    # ...and re-drawing it hands out a *fresh* pool object.
+    assert shared_pool(*shapes[0]) is not first
+
+
+def test_pool_lru_refreshes_on_redraw(shutdown_pools_after):
+    from repro.experiments import pool as pool_module
+
+    pool_module.shutdown_all()
+    first = shared_pool(2)
+    for jobs in range(3, 2 + pool_module.MAX_POOL_SHAPES):
+        shared_pool(jobs)
+    assert shared_pool(2) is first          # refreshed, most recent now
+    shared_pool(2 + pool_module.MAX_POOL_SHAPES)  # evicts jobs=3, not 2
+    assert (2, None) in pool_module._POOLS
+    assert (3, None) not in pool_module._POOLS
+
+
+def test_shutdown_all_closes_everything_and_respawns():
+    from repro.experiments import pool as pool_module
+
+    pool = shared_pool(2)
+    pool.map(len, [(8, 2), (9, 2)])
+    assert pool.alive
+    pool_module.shutdown_all()
+    assert not pool.alive
+    assert not pool_module._POOLS
+    pool_module.shutdown_all()  # idempotent
+    # The next draw transparently respawns a working pool.
+    fresh = shared_pool(2)
+    assert fresh.map(len, [(8, 2)]) == [2]
+    pool_module.shutdown_all()
+
+
+def test_shutdown_pools_alias_preserved():
+    from repro.experiments import pool as pool_module
+
+    assert pool_module.shutdown_pools is pool_module.shutdown_all

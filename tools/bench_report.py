@@ -60,6 +60,7 @@ GROUP_FILES: dict[str, tuple[str, ...]] = {
                 "benchmarks/test_bench_headline.py"),
     "neighborhood": ("benchmarks/test_bench_neighborhood.py",),
     "transport": ("benchmarks/test_bench_transport.py",),
+    "fleet": ("benchmarks/test_bench_fleet.py",),
 }
 
 

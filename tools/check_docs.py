@@ -54,6 +54,8 @@ API_MODULES = [
     "repro.neighborhood.coordination",
     "repro.neighborhood.federation",
     "repro.neighborhood.fleet",
+    "repro.neighborhood.shard",
+    "repro.neighborhood.transport",
 ]
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
