@@ -1,0 +1,65 @@
+"""SERVICE — submit→result latency through the durable job queue.
+
+The PR 6 service-plane numbers for ``BENCH_PR6.json`` (group
+``service``):
+
+* **cold** — submit a spec, have a worker lease + execute + publish,
+  fetch the result: the full queue round trip including one real
+  execution (one round; the execution dominates and is what PR 5
+  already tracks);
+* **warm** — re-submit the identical spec and fetch: the dedup fast
+  path that must answer from the artifact store in milliseconds
+  without touching the queue.
+"""
+
+import pytest
+
+from repro.api import ControlSpec, ExperimentSpec, ScenarioSpec
+from repro.service import ServiceClient, ServiceStore, WorkerDaemon
+from repro.sim.units import MINUTE
+
+HORIZON = 45 * MINUTE
+
+
+def _spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="service-latency", scenario=ScenarioSpec(preset="paper-low"),
+        control=ControlSpec(cp_fidelity="ideal"),
+        seeds=(3,), until_s=HORIZON)
+
+
+@pytest.mark.benchmark(group="service")
+def test_cold_submit_to_result(benchmark, tmp_path):
+    store = ServiceStore(tmp_path / "store")
+    client = ServiceClient(store)
+    daemon = WorkerDaemon(store)
+
+    def cold_round_trip():
+        job_id = client.submit(_spec())
+        report = daemon.step()
+        assert report is not None and report.state == "done"
+        return client.result(job_id, timeout=0)
+
+    result = benchmark.pedantic(cold_round_trip, rounds=1, iterations=1)
+    assert result.provenance.spec_hash == client.submit(_spec())
+    benchmark.extra_info["includes_execution"] = True
+
+
+@pytest.mark.benchmark(group="service")
+def test_warm_submit_to_result(benchmark, tmp_path):
+    store = ServiceStore(tmp_path / "store")
+    client = ServiceClient(store)
+    job_id = client.submit(_spec())
+    WorkerDaemon(store).step()  # warm the artifact store once
+
+    def warm_round_trip():
+        assert client.submit(_spec()) == job_id
+        return client.result(job_id, timeout=0)
+
+    result = benchmark(warm_round_trip)
+    assert result.provenance.spec_hash == job_id
+    # The warm path never queues: the one journal lease is the warm-up.
+    leases = [event for event in store.queue().journal_events()
+              if event["event"] == "lease"]
+    assert len(leases) == 1
+    benchmark.extra_info["includes_execution"] = False

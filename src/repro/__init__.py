@@ -31,7 +31,7 @@ from repro.workloads import PAPER_RATES, Scenario, paper_scenario
 #: Release version; also the result-cache invalidation key — bumped here
 #: because pickled result layouts changed (NeighborhoodResult grew
 #: precomputed per-home stats), so pre-1.2 cache entries must miss.
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "HanConfig",

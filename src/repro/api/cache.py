@@ -163,11 +163,22 @@ class ResultCache:
         return {}
 
     def _write_index(self, index: dict) -> None:
+        """Publish the index atomically (temp file + ``os.replace``).
+
+        The temp name embeds the writer's pid: two processes sharing a
+        store (worker daemons + the artifact store is the norm now)
+        must never write the *same* temp file, or one writer's rename
+        can publish the other's half-written bytes — silently dropping
+        the LRU clocks and the ``#stats`` row.  Updates remain
+        last-writer-wins (the index is advisory), but every published
+        file is complete and parseable.
+        """
         try:
             self.root.mkdir(parents=True, exist_ok=True)
-            tmp = self.index_path.with_suffix(".json.tmp")
+            tmp = self.index_path.with_name(
+                f"index.json.{os.getpid()}.tmp")
             tmp.write_text(json.dumps(index, indent=1, sort_keys=True))
-            tmp.replace(self.index_path)
+            os.replace(tmp, self.index_path)
         except OSError:  # pragma: no cover - advisory metadata only
             pass
 
@@ -208,26 +219,36 @@ class ResultCache:
                           bytes_read=_int("bytes_read"),
                           bytes_written=_int("bytes_written"))
 
-    def get(self, spec: "ExperimentSpec",
-            spec_digest: Optional[str] = None) -> Optional["Result"]:
-        """The stored result of ``spec`` under the current code version.
+    def has(self, digest: str) -> bool:
+        """Whether a payload for ``digest`` exists under this code version.
 
-        Returns ``None`` on any miss: absent entry, different code
-        version, or a corrupt/truncated object (which is deleted).
-        ``spec_digest`` skips re-hashing when the caller already holds
-        the spec hash (``run()`` computes it for provenance anyway).
-        Every lookup lands in the persisted hit/miss counters
-        (:meth:`stats`).
+        A cheap existence probe (one ``stat``, no payload read, no
+        counter bump) — the service front door answers warm re-submits
+        with it without touching the queue.  A ``True`` can still turn
+        into a :meth:`get_object` miss if the object is concurrently
+        evicted or corrupt; callers must treat it as advisory.
         """
         import repro
-        if spec_digest is None:
-            from repro.api.spec import spec_hash
-            spec_digest = spec_hash(spec)
-        key = self.key_of(spec_digest, repro.__version__)
+        return self._object_path(
+            self.key_of(digest, repro.__version__)).exists()
+
+    def get_object(self, digest: str) -> Optional[object]:
+        """Load the payload stored under ``digest`` (current code version).
+
+        The digest-keyed twin of :meth:`get` for arbitrary picklable
+        payloads (the service plane checkpoints shard outcomes this
+        way, and fetches job results by their spec hash without needing
+        the spec object).  Returns ``None`` on any miss: absent entry,
+        different code version, or a corrupt/truncated object (which is
+        deleted).  Every lookup lands in the persisted hit/miss
+        counters (:meth:`stats`).
+        """
+        import repro
+        key = self.key_of(digest, repro.__version__)
         path = self._object_path(key)
         try:
             payload = path.read_bytes()
-            result = pickle.loads(payload)
+            value = pickle.loads(payload)
         except OSError:
             self._count_miss()
             return None
@@ -242,32 +263,25 @@ class ResultCache:
             entry["last_used"] = time.time()
         self._bump_stats(index, hits=1, bytes_read=len(payload))
         self._write_index(index)
-        return result
+        return value
 
-    def put(self, spec: "ExperimentSpec", result: "Result",
-            spec_digest: Optional[str] = None) -> Optional[Path]:
-        """Store ``result`` for ``spec``; returns the object path.
+    def put_object(self, digest: str, payload: object, name: str = "?",
+                   kind: str = "object") -> Optional[Path]:
+        """Store an arbitrary picklable ``payload`` under ``digest``.
 
-        The payload is the *portable* result (live agents dropped —
-        exactly what any pool-transported result already is), written
-        atomically, then the LRU cap is enforced.  ``spec_digest``
-        skips re-hashing, as in :meth:`get`.  Storing is best-effort:
-        an I/O failure (disk full, racing ``clear``) returns ``None``
-        rather than failing the run whose result was being memoized.
+        The digest-keyed twin of :meth:`put`: written atomically
+        (per-pid temp file + rename), LRU cap enforced, best-effort (an
+        I/O failure returns ``None`` rather than failing the caller).
+        ``name``/``kind`` label the index row for ``repro cache ls``.
         """
         import repro
-        if spec_digest is None:
-            from repro.api.spec import spec_hash
-            spec_digest = spec_hash(spec)
-        digest = spec_digest
         key = self.key_of(digest, repro.__version__)
         path = self._object_path(key)
-        payload = pickle.dumps(result.portable(),
-                               protocol=pickle.HIGHEST_PROTOCOL)
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         tmp = path.with_suffix(f".tmp{os.getpid()}")
         try:
             self.objects_dir.mkdir(parents=True, exist_ok=True)
-            tmp.write_bytes(payload)
+            tmp.write_bytes(blob)
             tmp.replace(path)
         except OSError:
             try:
@@ -280,16 +294,49 @@ class ResultCache:
         index[key] = {
             "spec_hash": digest,
             "code_version": repro.__version__,
-            "name": spec.name,
-            "kind": spec.kind,
-            "size_bytes": len(payload),
+            "name": name,
+            "kind": kind,
+            "size_bytes": len(blob),
             "created": now,
             "last_used": now,
         }
-        self._bump_stats(index, stores=1, bytes_written=len(payload))
+        self._bump_stats(index, stores=1, bytes_written=len(blob))
         self._evict(index, keep=key)
         self._write_index(index)
         return path
+
+    def get(self, spec: "ExperimentSpec",
+            spec_digest: Optional[str] = None) -> Optional["Result"]:
+        """The stored result of ``spec`` under the current code version.
+
+        Returns ``None`` on any miss: absent entry, different code
+        version, or a corrupt/truncated object (which is deleted).
+        ``spec_digest`` skips re-hashing when the caller already holds
+        the spec hash (``run()`` computes it for provenance anyway).
+        Every lookup lands in the persisted hit/miss counters
+        (:meth:`stats`).
+        """
+        if spec_digest is None:
+            from repro.api.spec import spec_hash
+            spec_digest = spec_hash(spec)
+        return self.get_object(spec_digest)
+
+    def put(self, spec: "ExperimentSpec", result: "Result",
+            spec_digest: Optional[str] = None) -> Optional[Path]:
+        """Store ``result`` for ``spec``; returns the object path.
+
+        The payload is the *portable* result (live agents dropped —
+        exactly what any pool-transported result already is), written
+        atomically, then the LRU cap is enforced.  ``spec_digest``
+        skips re-hashing, as in :meth:`get`.  Storing is best-effort:
+        an I/O failure (disk full, racing ``clear``) returns ``None``
+        rather than failing the run whose result was being memoized.
+        """
+        if spec_digest is None:
+            from repro.api.spec import spec_hash
+            spec_digest = spec_hash(spec)
+        return self.put_object(spec_digest, result.portable(),
+                               name=spec.name, kind=spec.kind)
 
     def discard(self, key: str) -> None:
         """Remove one entry (object + index row); missing is fine."""
@@ -396,7 +443,10 @@ class ResultCache:
         in-flight temp file is never pulled out from under its rename.
         """
         now = time.time()
-        for tmp in self.objects_dir.glob("*.tmp*"):
+        listing = list(self.objects_dir.glob("*.tmp*"))
+        if self.root.is_dir():
+            listing.extend(self.root.glob("index.json.*.tmp"))
+        for tmp in listing:
             try:
                 if now - tmp.stat().st_mtime > max_age_s:
                     tmp.unlink()

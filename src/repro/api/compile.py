@@ -182,6 +182,34 @@ def compile_fleet(spec: ExperimentSpec, builder=None):
                    size_jitter=plan.size_jitter)
 
 
+def shard_sub_hash(parent_hash: str, shard) -> str:
+    """The stable content address of one shard sub-spec.
+
+    Shard planning is deterministic: given the parent spec (whose hash
+    seeds this digest) and a partition, shard ``index`` always holds the
+    same homes with the same derived seeds — so ``(parent, index,
+    n_homes, first home, horizon)`` pins the sub-spec's content without
+    serializing the sub-fleet.  Workers key per-shard checkpoints on
+    this (:mod:`repro.service.worker`): two attempts at the same shard
+    of the same spec dedup onto one stored outcome, while any different
+    partition (another ``shard_size``) gets disjoint addresses.
+    """
+    import hashlib
+    first = shard.fleet.homes[0].scenario.name if shard.fleet.homes \
+        else ""
+    token = (f"{parent_hash}:shard{shard.index}:{shard.fleet.n_homes}"
+             f":{first}:{shard.horizon}")
+    return hashlib.sha256(token.encode()).hexdigest()
+
+
+def shard_sub_hashes(spec: ExperimentSpec, shards) -> dict[int, str]:
+    """Sub-hashes of a whole shard plan, keyed by shard index."""
+    from repro.api.spec import spec_hash
+    parent = spec_hash(spec)
+    return {shard.index: shard_sub_hash(parent, shard)
+            for shard in shards}
+
+
 def compile_shards(spec: ExperimentSpec, shard_size: Optional[int] = None,
                    jobs: int = 1, transport: Optional[str] = None):
     """Lower a neighborhood spec into its per-shard sub-specs.

@@ -152,10 +152,20 @@ def provenance_of(spec: ExperimentSpec) -> Provenance:
                       seeds=tuple(spec.seeds))
 
 
+#: What ``run(spec, executor=...)`` accepts: ``"local"`` (in-process,
+#: the default), ``"service"`` (route through the durable job queue of
+#: :mod:`repro.service` — requires worker daemons on the store), or any
+#: object with a ``run(spec) -> Result`` method (e.g. a
+#: :class:`~repro.service.client.ServiceClient` bound to a specific
+#: store).
+EXECUTORS = ("local", "service")
+
+
 def run(spec: ExperimentSpec, jobs: int = 1,
         mp_context: Optional[str] = None,
         cache: "CacheLike" = None,
-        shard_size: Optional[int] = None) -> Result:
+        shard_size: Optional[int] = None,
+        executor="local") -> Result:
     """Validate, compile and execute a spec; the API's only verb.
 
     ``jobs`` fans independent units (seed cells, sweep cells,
@@ -176,8 +186,28 @@ def run(spec: ExperimentSpec, jobs: int = 1,
     :mod:`repro.neighborhood.shard`): like ``jobs`` it is a pure
     execution knob — large fleets auto-shard, ``0`` forces the per-home
     path, and every setting produces bit-identical results.
+
+    ``executor`` selects *where* the spec executes (:data:`EXECUTORS`):
+    ``"local"`` runs in this process as always; ``"service"`` submits
+    to the default service store's durable queue and blocks for the
+    artifact (dedup and crash recovery included — see
+    :mod:`repro.service`); an object with ``run(spec)`` is called
+    directly (a :class:`~repro.service.client.ServiceClient` bound to a
+    specific store).  Execution location can never change a result bit:
+    runs are deterministic and service artifacts are produced by this
+    very function on the worker side.
     """
     from repro.api.cache import resolve_cache
+    if executor != "local":
+        if executor == "service":
+            from repro.service.client import ServiceClient
+            executor = ServiceClient()
+        if not hasattr(executor, "run"):
+            known = ", ".join(EXECUTORS)
+            raise TypeError(
+                f"executor must be one of {known} or have a run() "
+                f"method, got {executor!r}")
+        return executor.run(spec)
     validate(spec)
     provenance = provenance_of(spec)
     store = resolve_cache(cache)

@@ -26,6 +26,12 @@ Usage::
     python -m repro regen --no-cache               # force re-simulation
     python -m repro cache ls                       # inspect result cache
     python -m repro cache clear
+    python -m repro worker --store /srv/repro      # drain the job queue
+    python -m repro serve --port 8787              # HTTP front door
+    python -m repro job submit experiment.json     # async submission
+    python -m repro job status <job-id>
+    python -m repro job result <job-id> --timeout 600
+    python -m repro job ls
 """
 
 from __future__ import annotations
@@ -164,6 +170,67 @@ def build_parser() -> argparse.ArgumentParser:
     cache_sub.add_parser("stats",
                          help="persisted hit/miss/byte counters")
     cache_sub.add_parser("clear", help="delete every cached result")
+
+    p = sub.add_parser("worker",
+                       help="run a service worker daemon (drain the "
+                            "durable job queue)")
+    p.add_argument("--store", metavar="DIR", default=None,
+                   help="service store directory (default: "
+                        "$REPRO_SERVICE_STORE or ~/.cache/repro-service)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="pool workers each leased job fans out over")
+    p.add_argument("--max-jobs", type=int, default=None,
+                   help="exit after finishing N jobs (default: run "
+                        "forever)")
+    p.add_argument("--idle-exit", type=float, default=None,
+                   metavar="SECONDS",
+                   help="exit after the queue stays empty this long "
+                        "(default: wait forever)")
+    p.add_argument("--lease-ttl", type=float, default=None,
+                   metavar="SECONDS",
+                   help="lease expiry between heartbeats (default: 30)")
+    p.add_argument("--shard-size", type=int, default=None,
+                   help="homes per execution shard for neighborhood "
+                        "jobs (default: auto)")
+    p.add_argument("--worker-id", default=None,
+                   help="worker identity in leases (default: host.pid)")
+
+    p = sub.add_parser("serve",
+                       help="HTTP front door over the service store")
+    p.add_argument("--store", metavar="DIR", default=None,
+                   help="service store directory (default: "
+                        "$REPRO_SERVICE_STORE or ~/.cache/repro-service)")
+    p.add_argument("--host", default=None,
+                   help="bind address (default: 127.0.0.1)")
+    p.add_argument("--port", type=int, default=None,
+                   help="bind port (default: 8787)")
+
+    p = sub.add_parser("job",
+                       help="submit to / inspect the service job queue")
+    job_sub = p.add_subparsers(dest="job_command", required=True)
+    p_submit = job_sub.add_parser(
+        "submit", help="enqueue a spec JSON file; prints the job id")
+    p_submit.add_argument("path", help="spec JSON file")
+    p_submit.add_argument("--store", metavar="DIR", default=None)
+    p_submit.add_argument("--wait", action="store_true",
+                          help="block until the result is ready and "
+                               "print it")
+    p_submit.add_argument("--timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="give up --wait after this long")
+    p_status = job_sub.add_parser("status", help="one job's state")
+    p_status.add_argument("job_id")
+    p_status.add_argument("--store", metavar="DIR", default=None)
+    p_result = job_sub.add_parser(
+        "result", help="print a finished job's rendered result")
+    p_result.add_argument("job_id")
+    p_result.add_argument("--store", metavar="DIR", default=None)
+    p_result.add_argument("--timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="block up to this long (default: only "
+                               "return what is already stored)")
+    p_ls = job_sub.add_parser("ls", help="list every job in the queue")
+    p_ls.add_argument("--store", metavar="DIR", default=None)
 
     sub.add_parser("list", help="list every reproducible experiment")
     return parser
@@ -418,6 +485,18 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(text if text is not None else repr(artefact))
     elif args.command == "cache":
         return _dispatch_cache(args)
+    elif args.command == "worker":
+        return _dispatch_worker(args)
+    elif args.command == "serve":
+        from repro.service.server import serve
+        kwargs = {}
+        if args.host is not None:
+            kwargs["host"] = args.host
+        if args.port is not None:
+            kwargs["port"] = args.port
+        _checked(serve, args.store, **kwargs)
+    elif args.command == "job":
+        return _dispatch_job(args)
     elif args.command == "list":
         from repro.experiments.registry import all_experiments
         rows = [[e.exp_id, e.paper_artefact, e.description]
@@ -461,6 +540,67 @@ def _dispatch_cache(args: argparse.Namespace) -> int:
     elif args.cache_command == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached results from {cache.root}")
+    return 0
+
+
+def _dispatch_worker(args: argparse.Namespace) -> int:
+    """``repro worker``: one daemon draining the service job queue."""
+    from repro.service.worker import WorkerDaemon
+    _check_jobs(args.jobs)
+    daemon = _checked(WorkerDaemon, args.store,
+                      worker_id=args.worker_id, jobs=args.jobs,
+                      shard_size=args.shard_size,
+                      lease_ttl=args.lease_ttl)
+    print(f"worker {daemon.worker_id} draining {daemon.store.root}",
+          flush=True)
+    finished = daemon.run_forever(max_jobs=args.max_jobs,
+                                  idle_exit_s=args.idle_exit)
+    print(f"worker {daemon.worker_id} exiting after {finished} job(s)")
+    return 0
+
+
+def _dispatch_job(args: argparse.Namespace) -> int:
+    """The ``repro job submit/status/result/ls`` family."""
+    from repro.service.client import ServiceClient, ServiceError
+    client = ServiceClient(args.store)
+    try:
+        if args.job_command == "submit":
+            spec = _load_spec(args.path)
+            job_id = client.submit(spec)
+            status = client.status(job_id)
+            source = "artifact store" if status.cached else "queue"
+            print(f"job {job_id} ({status.state}, via {source})")
+            if args.wait:
+                print(client.result(job_id,
+                                    timeout=args.timeout).render())
+        elif args.job_command == "status":
+            status = client.status(args.job_id)
+            print(format_table(
+                ["field", "value"],
+                [["state", status.state],
+                 ["attempts", status.attempts],
+                 ["worker", status.worker or "-"],
+                 ["cached", "yes" if status.cached else "no"],
+                 ["error", status.error or "-"]],
+                title=f"job {status.job_id[:12]}"))
+        elif args.job_command == "result":
+            timeout = args.timeout if args.timeout is not None else 0
+            print(client.result(args.job_id, timeout=timeout).render())
+        elif args.job_command == "ls":
+            records = client.queue.jobs()
+            if not records:
+                print(f"queue empty ({client.store.root})")
+                return 0
+            rows = [[record.job_id[:12], record.name, record.kind,
+                     record.state, record.attempts]
+                    for record in records]
+            print(format_table(
+                ["job", "name", "kind", "state", "attempts"], rows,
+                title=f"Service queue at {client.store.root} "
+                      f"({len(records)} jobs)"))
+    except ServiceError as failure:
+        print(f"error: {failure}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -194,7 +194,8 @@ def execute_fleet(fleet: FleetSpec, jobs: int = 1,
                   feeder: Optional[FeederConfig] = None,
                   spec: Optional[object] = None,
                   shard_size: Optional[int] = None,
-                  transport: Optional[str] = None) -> NeighborhoodResult:
+                  transport: Optional[str] = None,
+                  shard_executor=None) -> NeighborhoodResult:
     """Run every home of ``fleet`` (over ``jobs`` workers) and aggregate.
 
     This is the neighborhood execution primitive the spec API bottoms
@@ -221,6 +222,11 @@ def execute_fleet(fleet: FleetSpec, jobs: int = 1,
     locally and ships one batched series frame; ``shard_size=0`` forces
     the per-home path.  Pure execution knobs — results are bit-identical
     for every combination.
+
+    ``shard_executor`` swaps the per-shard worker body on the sharded
+    path (see :func:`repro.neighborhood.shard.execute_shards`) — the
+    service plane's checkpointing hook; ignored when the fleet runs
+    per-home.
     """
     if coordination not in COORDINATION_MODES:
         known = ", ".join(COORDINATION_MODES)
@@ -233,7 +239,8 @@ def execute_fleet(fleet: FleetSpec, jobs: int = 1,
     home_stats = None
     if shards is not None:
         results, partials, home_stats = execute_shards(
-            shards, jobs=jobs, mp_context=mp_context)
+            shards, jobs=jobs, mp_context=mp_context,
+            executor=shard_executor)
     else:
         specs = [RunSpec(name=home.scenario.name, config=home.config(),
                          until=until)

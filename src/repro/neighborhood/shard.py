@@ -176,6 +176,7 @@ def _execute_shard(spec: ShardSpec) -> tuple:
 
 def execute_shards(shards: Sequence[ShardSpec], jobs: int = 1,
                    mp_context: Optional[str] = None,
+                   executor=None,
                    ) -> tuple[list[RunResult], list[SeriesPartial],
                               list[LoadStats]]:
     """Run every shard and fan the pre-reduced pieces back in.
@@ -183,13 +184,21 @@ def execute_shards(shards: Sequence[ShardSpec], jobs: int = 1,
     Returns ``(home_results, shard_partials, home_stats)``, all in fleet
     order.  Cross-process shards come back as one frame each; the
     series are re-attached as zero-copy views before return.
+
+    ``executor`` swaps the per-shard worker body (default
+    :func:`_execute_shard`): a module-level picklable callable with the
+    same ``ShardSpec -> (status, name, payload)`` contract.  The service
+    plane injects a checkpointing wrapper here
+    (:func:`repro.service.worker._checkpointed_shard`); since outcomes
+    are bit-identical however produced, the hook cannot change results.
     """
     from repro.experiments.runner import ParallelRunner, WorkerFailure
     shards = list(shards)
     if not shards:
         return [], [], []
     runner = ParallelRunner(jobs=jobs, mp_context=mp_context)
-    triples = runner.execute(_execute_shard, shards)
+    triples = runner.execute(
+        executor if executor is not None else _execute_shard, shards)
     homes: list[RunResult] = []
     partials: list[SeriesPartial] = []
     home_stats: list[LoadStats] = []

@@ -46,6 +46,26 @@ TRANSPORT_ENV = "REPRO_FLEET_TRANSPORT"
 TRANSPORTS = ("shm", "pickle")
 
 
+class FrameUnavailableError(RuntimeError):
+    """A frame's shared-memory segment no longer exists (or cannot map).
+
+    Raised by :func:`unpack_series` when attaching to ``shm_name`` fails —
+    typically because the worker that packed the frame crashed and the
+    segment was reaped (resource-tracker cleanup at interpreter shutdown,
+    or an operator clearing ``/dev/shm``), exactly the re-lease scenario
+    of the service plane (:mod:`repro.service`).  The frame's data is
+    gone; the shard must be re-executed.  Carries ``shm_name`` so callers
+    can name the lost segment in their own diagnostics.
+    """
+
+    def __init__(self, shm_name: str, detail: str):
+        super().__init__(
+            f"series frame segment {shm_name!r} is unavailable: {detail} "
+            f"(the packing worker likely crashed and the segment was "
+            f"reaped; re-execute the shard)")
+        self.shm_name = shm_name
+
+
 def shared_memory_available() -> bool:
     """Whether POSIX shared memory can actually be allocated here.
 
@@ -120,7 +140,12 @@ def pack_series(series_list: Sequence[StepSeries],
     names = tuple(series.name for series in series_list)
     lengths = tuple(len(series) for series in series_list)
     total = sum(lengths)
-    block = np.empty((2, max(total, 1)), dtype=np.float64)
+    # np.zeros, not np.empty: the block keeps one padding slot when
+    # ``total == 0`` (zero-size shm segments cannot be allocated), and
+    # that slot is never written below — uninitialized padding made
+    # ``tobytes()`` blobs byte-nondeterministic, breaking digests/dedup
+    # over pickled frames.
+    block = np.zeros((2, max(total, 1)), dtype=np.float64)
     cursor = 0
     for series in series_list:
         times, values = series._data()
@@ -164,13 +189,31 @@ def unpack_series(frame: SeriesFrame) -> list[StepSeries]:
     hold: Optional[object] = None
     if frame.shm_name is not None:
         from multiprocessing import shared_memory
-        segment = shared_memory.SharedMemory(name=frame.shm_name)
         try:
-            segment.unlink()
-        except OSError:  # pragma: no cover - already cleaned elsewhere
-            pass
-        block = np.ndarray((2, max(total, 1)), dtype=np.float64,
-                           buffer=segment.buf)
+            segment = shared_memory.SharedMemory(name=frame.shm_name)
+        except FileNotFoundError as gone:
+            # The segment was reaped before we attached — a worker
+            # crashing between pack and unpack (the service re-lease
+            # scenario).  Surface a typed, actionable error instead of a
+            # bare traceback.
+            raise FrameUnavailableError(
+                frame.shm_name, "segment no longer exists") from gone
+        try:
+            try:
+                segment.unlink()
+            except OSError:  # pragma: no cover - already cleaned elsewhere
+                pass
+            block = np.ndarray((2, max(total, 1)), dtype=np.float64,
+                               buffer=segment.buf)
+        except Exception as bad:
+            # Mapping failed after attach (e.g. a segment smaller than
+            # the frame's layout claims): close the mapping so the fd
+            # doesn't leak for the life of the process, then report.
+            segment.close()
+            raise FrameUnavailableError(
+                frame.shm_name,
+                f"cannot map {2 * max(total, 1)} float64 values "
+                f"({bad})") from bad
         hold = segment
     else:
         block = np.frombuffer(frame.blob,

@@ -1,0 +1,42 @@
+"""The service plane: queue + workers + front door over one store.
+
+PR 3 made experiments hash-addressed data, PR 4 made results
+content-addressed artifacts, PR 5 made fleets decompose into
+deterministic shard sub-specs — this package composes them into a
+*service*: durable submission (:mod:`~repro.service.queue`), detached
+execution with crash recovery (:mod:`~repro.service.worker`), and an
+async client/HTTP front door (:mod:`~repro.service.client`,
+:mod:`~repro.service.server`), all coordinating through one plain
+directory (:mod:`~repro.service.store`).  See ``docs/service.md``.
+"""
+
+from repro.service.client import JobStatus, ServiceClient, ServiceError
+from repro.service.queue import (
+    DEFAULT_LEASE_TTL,
+    DEFAULT_MAX_ATTEMPTS,
+    JobQueue,
+    JobRecord,
+    LeaseRecord,
+)
+from repro.service.server import make_server, serve
+from repro.service.store import STORE_ENV, ServiceStore, default_store_dir
+from repro.service.worker import WorkerDaemon, WorkerReport, execute_job
+
+__all__ = [
+    "DEFAULT_LEASE_TTL",
+    "DEFAULT_MAX_ATTEMPTS",
+    "JobQueue",
+    "JobRecord",
+    "JobStatus",
+    "LeaseRecord",
+    "STORE_ENV",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceStore",
+    "WorkerDaemon",
+    "WorkerReport",
+    "default_store_dir",
+    "execute_job",
+    "make_server",
+    "serve",
+]

@@ -1,0 +1,153 @@
+"""The async front door: submit specs, poll status, fetch results.
+
+:class:`ServiceClient` is what application code (and
+``run(spec, executor="service")``) talks to.  Three calls, all keyed by
+the job id — which *is* the spec hash, so the client never needs any
+server-assigned token:
+
+* :meth:`~ServiceClient.submit` — enqueue a spec and return its id.
+  Deduplicating by construction: concurrent submissions of an identical
+  spec converge on one queue entry and one execution, and a spec whose
+  artifact already exists (a *warm* re-submit) is answered from the
+  store in milliseconds without touching the queue at all;
+* :meth:`~ServiceClient.status` — where a job is
+  (``pending``/``running``/``done``/``failed``, attempts, lease holder);
+* :meth:`~ServiceClient.result` — the stored
+  :class:`~repro.api.run.Result`, optionally blocking until a worker
+  publishes it.
+
+The client is pure filesystem — it shares the
+:class:`~repro.service.store.ServiceStore` with the workers, so no
+server process is required; :mod:`repro.service.server` adds an HTTP
+face over the same store for remote submitters.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.api.run import Result
+from repro.api.spec import ExperimentSpec, spec_hash
+from repro.api.validate import validate
+from repro.service.store import ServiceStore
+
+#: Default polling period while blocking on a result.
+RESULT_POLL_S = 0.1
+
+
+class ServiceError(RuntimeError):
+    """A service operation failed (unknown job, failed job, timeout)."""
+
+    def __init__(self, job_id: str, detail: str):
+        super().__init__(f"job {job_id[:12]}: {detail}")
+        self.job_id = job_id
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """One job's current position in the pipeline.
+
+    ``state`` is a queue state (:data:`repro.service.queue.JOB_STATES`);
+    ``cached`` reports whether the artifact store already holds the
+    result (always ``True`` once ``state == "done"``, and also for
+    warm submissions that never queued — then ``state`` is ``"done"``
+    with ``attempts == 0``).
+    """
+
+    job_id: str
+    state: str
+    attempts: int = 0
+    error: Optional[str] = None
+    worker: Optional[str] = None
+    cached: bool = False
+
+
+class ServiceClient:
+    """Submit/inspect/fetch interface over one service store."""
+
+    def __init__(self, store: Union[None, str, ServiceStore] = None):
+        self.store = ServiceStore.resolve(store)
+        self.queue = self.store.queue()
+        self.cache = self.store.cache()
+
+    def submit(self, spec: ExperimentSpec) -> str:
+        """Enqueue ``spec`` for execution; returns its job id.
+
+        The id is the spec's content hash, so re-submitting — from this
+        client or any other — always yields the same id.  A warm spec
+        (artifact already stored) is *not* queued: the id answers
+        :meth:`result` immediately from the store.  Invalid specs are
+        rejected here, before anything is enqueued.
+        """
+        validate(spec)
+        job_id = spec_hash(spec)
+        if self.cache.has(job_id):
+            return job_id
+        self.queue.submit(spec)
+        return job_id
+
+    def status(self, job_id: str) -> JobStatus:
+        """Where ``job_id`` is; raises :class:`ServiceError` if unknown."""
+        cached = self.cache.has(job_id)
+        record = self.queue.job(job_id)
+        if record is None:
+            if cached:
+                return JobStatus(job_id=job_id, state="done", cached=True)
+            raise ServiceError(job_id, "unknown job (never submitted "
+                                       "to this store?)")
+        lease = self.queue.lease_of(job_id)
+        return JobStatus(
+            job_id=job_id,
+            state="done" if cached else record.state,
+            attempts=record.attempts, error=record.error,
+            worker=lease.worker if lease is not None else None,
+            cached=cached)
+
+    def result(self, job_id: str, timeout: Optional[float] = None,
+               poll_s: float = RESULT_POLL_S) -> Result:
+        """The stored result of ``job_id``.
+
+        Returns immediately when the artifact exists (the
+        milliseconds-for-warm-hashes path).  Otherwise blocks — polling
+        the store — until a worker publishes it, the job turns
+        terminally ``failed`` (raises with the recorded error), or
+        ``timeout`` seconds pass (raises).  ``timeout=0`` is a pure
+        non-blocking probe.
+        """
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        while True:
+            payload = self.cache.get_object(job_id)
+            if payload is not None:
+                if not isinstance(payload, Result):
+                    raise ServiceError(
+                        job_id, f"artifact is not a Result "
+                                f"({type(payload).__name__})")
+                return payload
+            record = self.queue.job(job_id)
+            if record is None:
+                raise ServiceError(
+                    job_id, "unknown job (never submitted, or its "
+                            "artifact was evicted)")
+            if record.state == "failed":
+                raise ServiceError(
+                    job_id, f"execution failed after {record.attempts} "
+                            f"attempt(s): {record.error}")
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServiceError(
+                    job_id, f"no result within {timeout} s (job is "
+                            f"{record.state}; are workers running?)")
+            time.sleep(poll_s)
+
+    def run(self, spec: ExperimentSpec,
+            timeout: Optional[float] = None) -> Result:
+        """Submit and block for the result — the ``executor="service"``
+        backend of :func:`repro.api.run.run`.
+
+        Requires at least one :class:`~repro.service.worker.WorkerDaemon`
+        on the same store (unless the spec is warm); pass ``timeout`` to
+        bound the wait.
+        """
+        return self.result(self.submit(spec), timeout=timeout)

@@ -1,0 +1,169 @@
+"""``repro serve``: a stdlib HTTP face over the service store.
+
+For submitters that can't share the store's filesystem, a small JSON
+API over :class:`~repro.service.client.ServiceClient` — same dedup,
+same warm-path semantics, no extra state (the store stays the single
+source of truth; the server can die and restart freely):
+
+====== ============================ =======================================
+method path                         body / response
+====== ============================ =======================================
+POST   ``/v1/jobs``                 spec JSON → ``{"job_id", "state", ...}``
+GET    ``/v1/jobs/<job_id>``        job status JSON
+GET    ``/v1/jobs/<job_id>/result`` rendered result + provenance (``202``
+                                    while pending — poll again)
+GET    ``/v1/health``               queue counts + store root
+====== ============================ =======================================
+
+Results travel as the rendered report plus provenance (spec hash, code
+version) rather than a pickle: the HTTP face is for *submission and
+inspection*; bulk artifact access reads the store directly (it is
+content-addressed — fetch by the same spec hash).
+
+Threading: requests are served concurrently
+(:class:`~http.server.ThreadingHTTPServer`); every handler re-reads the
+store, which is already multi-process safe, so no server-side locks.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Union
+
+from repro.api.spec import ExperimentSpec
+from repro.api.validate import SpecError
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.store import ServiceStore
+
+#: Default bind address of ``repro serve`` — loopback only; exposing the
+#: store to a network is an operator decision, never a default.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8787
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """One request: parse the path, delegate to the client, emit JSON."""
+
+    #: Injected by :func:`make_server` (class attribute — handlers are
+    #: instantiated per request by the HTTP server machinery).
+    client: ServiceClient = None
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        """Silence per-request stderr logging (tests and daemons)."""
+
+    def _reply(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path.rstrip("/") != "/v1/jobs":
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            spec = ExperimentSpec.from_json(
+                self.rfile.read(length).decode())
+        except (ValueError, SpecError) as bad:
+            self._reply(400, {"error": f"invalid spec: {bad}"})
+            return
+        try:
+            job_id = self.client.submit(spec)
+        except SpecError as bad:
+            self._reply(400, {"error": f"invalid spec: {bad}"})
+            return
+        status = self.client.status(job_id)
+        self._reply(200, {"job_id": job_id, "state": status.state,
+                          "cached": status.cached})
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        parts = [part for part in self.path.split("/") if part]
+        if parts == ["v1", "health"]:
+            self._reply(200, {
+                "ok": True,
+                "store": str(self.client.store.root),
+                "queue": self.client.queue.counts()})
+            return
+        if len(parts) >= 2 and parts[:2] == ["v1", "jobs"]:
+            if len(parts) == 3:
+                self._status(parts[2])
+                return
+            if len(parts) == 4 and parts[3] == "result":
+                self._result(parts[2])
+                return
+        self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+    def _status(self, job_id: str) -> None:
+        try:
+            status = self.client.status(job_id)
+        except ServiceError as missing:
+            self._reply(404, {"error": str(missing)})
+            return
+        self._reply(200, {
+            "job_id": status.job_id, "state": status.state,
+            "attempts": status.attempts, "error": status.error,
+            "worker": status.worker, "cached": status.cached})
+
+    def _result(self, job_id: str) -> None:
+        try:
+            status = self.client.status(job_id)
+        except ServiceError as missing:
+            self._reply(404, {"error": str(missing)})
+            return
+        if not status.cached:
+            if status.state == "failed":
+                self._reply(500, {"job_id": job_id, "state": "failed",
+                                  "error": status.error})
+                return
+            self._reply(202, {"job_id": job_id, "state": status.state,
+                              "detail": "result not ready; poll again"})
+            return
+        try:
+            result = self.client.result(job_id, timeout=0)
+        except ServiceError as gone:  # evicted between status and fetch
+            self._reply(404, {"error": str(gone)})
+            return
+        self._reply(200, {
+            "job_id": job_id, "state": "done",
+            "spec_hash": result.provenance.spec_hash,
+            "code_version": result.provenance.code_version,
+            "render": result.render()})
+
+
+def make_server(store: Union[None, str, ServiceStore] = None,
+                host: str = DEFAULT_HOST,
+                port: int = DEFAULT_PORT) -> ThreadingHTTPServer:
+    """Build (and bind) the front-door server without serving yet.
+
+    ``port=0`` binds an ephemeral port — read it back from
+    ``server.server_address`` (what the tests do).  Call
+    ``serve_forever()`` on the returned server, or :func:`serve` for
+    the blocking one-liner.
+    """
+    client = ServiceClient(store)
+    handler = type("_BoundHandler", (_ServiceHandler,),
+                   {"client": client})
+    return ThreadingHTTPServer((host, port), handler)
+
+
+def serve(store: Union[None, str, ServiceStore] = None,
+          host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
+          banner: bool = True) -> None:
+    """Run the front door until interrupted (the ``repro serve`` body)."""
+    server = make_server(store, host=host, port=port)
+    bound_host, bound_port = server.server_address[:2]
+    if banner:
+        root = ServiceStore.resolve(store).root
+        print(f"repro service front door on http://{bound_host}:"
+              f"{bound_port} (store {root})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        server.server_close()

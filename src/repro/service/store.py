@@ -1,0 +1,98 @@
+"""The on-disk service store: one directory, queue plus artifacts.
+
+A *store* is the unit of sharing between the service front door and any
+number of worker daemons — a plain directory (local disk for one
+machine, a shared filesystem for many) holding two independent halves::
+
+    <store>/
+      queue/        # durable job queue (repro.service.queue)
+        journal.jsonl
+        jobs/<job_id>.json
+        leases/<job_id>.json
+      artifacts/    # shared result store (repro.api.cache.ResultCache)
+        index.json
+        objects/<spec_hash>.<code_version>.pkl
+
+Everything in the store is keyed by content: job ids *are* spec hashes
+(which is what makes duplicate submissions share one execution), and
+artifacts are the ordinary ``(spec_hash, code_version)`` cache entries —
+so a result produced by a worker daemon is indistinguishable from one
+produced by a local :func:`repro.api.run.run` call against the same
+store.
+
+Resolution order for the store location: explicit argument >
+``$REPRO_SERVICE_STORE`` > ``~/.cache/repro-service``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.api.cache import ResultCache
+
+#: Environment variable relocating the default service store.
+STORE_ENV = "REPRO_SERVICE_STORE"
+
+
+def default_store_dir() -> Path:
+    """The store root: ``$REPRO_SERVICE_STORE`` or ``~/.cache/repro-service``."""
+    override = os.environ.get(STORE_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-service"
+
+
+@dataclass(frozen=True)
+class ServiceStore:
+    """Paths and accessors of one service store directory.
+
+    Instances are cheap and picklable (one ``Path``); the queue and
+    cache they hand out coordinate purely through the filesystem, so any
+    number of processes may hold a ``ServiceStore`` over the same root.
+    """
+
+    root: Path = field(default_factory=default_store_dir)
+
+    def __post_init__(self):
+        # Accept plain strings (CLI args, env values) everywhere a
+        # store is constructed, not only through resolve().
+        if not isinstance(self.root, Path):
+            object.__setattr__(self, "root", Path(self.root))
+
+    @classmethod
+    def resolve(cls, store: Union[None, str, Path,
+                                  "ServiceStore"]) -> "ServiceStore":
+        """Normalize a store argument: path-like, instance, or default."""
+        if isinstance(store, ServiceStore):
+            return store
+        if store is None:
+            return cls()
+        return cls(root=Path(store))
+
+    @property
+    def queue_dir(self) -> Path:
+        """Directory of the durable job queue."""
+        return self.root / "queue"
+
+    @property
+    def artifacts_dir(self) -> Path:
+        """Directory of the shared artifact (result) store."""
+        return self.root / "artifacts"
+
+    def queue(self, lease_ttl: Optional[float] = None,
+              max_attempts: Optional[int] = None):
+        """The store's :class:`~repro.service.queue.JobQueue`."""
+        from repro.service.queue import JobQueue
+        kwargs = {}
+        if lease_ttl is not None:
+            kwargs["lease_ttl"] = lease_ttl
+        if max_attempts is not None:
+            kwargs["max_attempts"] = max_attempts
+        return JobQueue(self.queue_dir, **kwargs)
+
+    def cache(self) -> ResultCache:
+        """The store's shared artifact store (a plain result cache)."""
+        return ResultCache(self.artifacts_dir)

@@ -1,0 +1,246 @@
+"""Worker daemons: lease jobs, execute them, publish artifacts.
+
+A :class:`WorkerDaemon` is the execution half of the service plane — any
+number of them (processes, machines) point at one
+:class:`~repro.service.store.ServiceStore` and drain its queue:
+
+* **lease** the oldest runnable job (:meth:`JobQueue.lease <
+  repro.service.queue.JobQueue.lease>` — atomic, so two daemons never
+  run the same job);
+* **heartbeat** on a background thread (:class:`_LeaseKeeper`) for the
+  whole execution, so long runs keep their lease while a ``kill -9``-ed
+  worker silently stops beating and loses it;
+* **execute** through exactly the same compile/fan-out path as an
+  in-process :func:`repro.api.run.run` — runs are bit-deterministic, so
+  a service-produced result is indistinguishable from a local one;
+* **publish** the portable :class:`~repro.api.run.Result` into the
+  store's artifact cache under the job id (= spec hash), then mark the
+  job done.
+
+Neighborhood jobs additionally **checkpoint per shard**: every shard
+sub-spec has a stable content address
+(:func:`repro.api.compile.shard_sub_hash`), and its pre-reduced outcome
+is stored as it completes — a worker that crashes 80 shards into a
+100-shard fleet loses nothing; the re-leasing worker replays the 80 from
+the artifact store and executes only the remaining 20.  Because shard
+planning is deterministic in ``(fleet, shard_size, jobs)`` and outcomes
+are bit-identical however produced, resume cannot change a single bit of
+the final result.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import socket
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import Optional, Union
+
+from repro.api.cache import ResultCache
+from repro.api.compile import compile_fleet, shard_sub_hash
+from repro.api.run import Result, _execute, provenance_of
+from repro.api.spec import ExperimentSpec
+from repro.api.validate import validate
+from repro.service.queue import JobQueue
+from repro.service.store import ServiceStore
+
+#: Idle-queue polling period of :meth:`WorkerDaemon.run_forever`.
+WORKER_POLL_S = 0.5
+#: Heartbeats fire every ``lease_ttl * HEARTBEAT_FRACTION`` seconds —
+#: several beats per TTL, so one delayed beat never loses the lease.
+HEARTBEAT_FRACTION = 0.25
+
+
+def default_worker_id() -> str:
+    """A worker identity unique per process: ``<host>.<pid>``."""
+    return f"{socket.gethostname()}.{os.getpid()}"
+
+
+@dataclass(frozen=True)
+class WorkerReport:
+    """What one :meth:`WorkerDaemon.step` did with the job it leased.
+
+    ``state`` is one of ``"done"`` (executed and published),
+    ``"cached"`` (the artifact already existed — completed without
+    executing), ``"failed"`` (execution raised; the queue decides
+    retry vs terminal), or ``"stale"`` (executed, but the lease had
+    expired and moved — the artifact is still published, identical to
+    what the new holder will produce).
+    """
+
+    job_id: str
+    state: str
+    error: Optional[str] = None
+
+
+class _LeaseKeeper(threading.Thread):
+    """Background heartbeat for one leased job.
+
+    Beats until :meth:`stop` — or until a beat is rejected, which means
+    the lease expired and was re-assigned; ``lost`` latches so the
+    worker knows its completion will be stale.  Daemonic: a crashing
+    worker takes its keeper with it, which is precisely what lets the
+    lease expire and the job move on.
+    """
+
+    def __init__(self, queue: JobQueue, job_id: str, worker: str,
+                 interval: float):
+        super().__init__(daemon=True, name=f"lease-{job_id[:8]}")
+        self.queue = queue
+        self.job_id = job_id
+        self.worker = worker
+        self.interval = interval
+        self.lost = False
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        while not self._halt.wait(self.interval):
+            if not self.queue.heartbeat(self.job_id, self.worker):
+                self.lost = True
+                return
+
+    def stop(self) -> None:
+        """Stop beating and wait for the thread to wind down."""
+        self._halt.set()
+        self.join(timeout=self.interval + 1.0)
+
+
+def _checkpointed_shard(spec, cache: ResultCache, parent: str) -> tuple:
+    """Shard executor with artifact-store memoization (module-level so
+    ``functools.partial`` of it pickles to pool workers).
+
+    The shard's transport is forced in-process (``None``) so the outcome
+    carries its series directly — a shared-memory frame names a segment
+    that dies with the packing process and can never live in a store.
+    Stored shards therefore skip the batched-frame transport; the
+    checkpoint read/write replaces what the frame was optimizing.
+    """
+    from repro.neighborhood.shard import _execute_shard
+    key = shard_sub_hash(parent, spec)
+    hit = cache.get_object(key)
+    if isinstance(hit, tuple) and len(hit) == 3 and hit[0] == "ok":
+        return hit
+    triple = _execute_shard(replace(spec, transport=None))
+    if triple[0] == "ok":
+        cache.put_object(key, triple, name=spec.fleet.name, kind="shard")
+    return triple
+
+
+def execute_job(spec: ExperimentSpec, cache: Optional[ResultCache] = None,
+                jobs: int = 1, mp_context: Optional[str] = None,
+                shard_size: Optional[int] = None) -> Result:
+    """Execute one leased spec exactly as ``run(spec)`` would.
+
+    The worker-side twin of the :func:`repro.api.run.run` cache-miss
+    path: validate, stamp provenance, execute.  With a ``cache`` (the
+    store's artifact cache), neighborhood kinds run with the
+    per-shard checkpointing executor (see module docstring) so crashed
+    attempts resume at shard granularity.
+    """
+    validate(spec)
+    provenance = provenance_of(spec)
+    if spec.kind == "neighborhood" and cache is not None:
+        from repro.neighborhood.federation import execute_fleet
+        executor = functools.partial(
+            _checkpointed_shard, cache=cache,
+            parent=provenance.spec_hash)
+        fleet = compile_fleet(spec)
+        neighborhood = execute_fleet(
+            fleet, jobs=jobs, until=spec.until_s, mp_context=mp_context,
+            coordination=spec.fleet.coordination, spec=spec,
+            shard_size=shard_size, shard_executor=executor)
+        return Result(spec=spec, provenance=provenance,
+                      neighborhood=neighborhood)
+    return _execute(spec, provenance, jobs, mp_context, shard_size)
+
+
+class WorkerDaemon:
+    """One worker process over a service store (see module docstring).
+
+    ``jobs``/``mp_context``/``shard_size`` are the usual execution
+    knobs, forwarded to the compiled run — a daemon with ``jobs=4``
+    fans each leased job over four pool workers.  ``lease_ttl`` /
+    ``max_attempts`` tune the queue's crash-recovery protocol (defaults
+    from :mod:`repro.service.queue`).
+    """
+
+    def __init__(self, store: Union[None, str, ServiceStore] = None,
+                 worker_id: Optional[str] = None, jobs: int = 1,
+                 mp_context: Optional[str] = None,
+                 shard_size: Optional[int] = None,
+                 lease_ttl: Optional[float] = None,
+                 max_attempts: Optional[int] = None):
+        self.store = ServiceStore.resolve(store)
+        self.queue = self.store.queue(lease_ttl=lease_ttl,
+                                      max_attempts=max_attempts)
+        self.cache = self.store.cache()
+        self.worker_id = worker_id if worker_id is not None \
+            else default_worker_id()
+        self.jobs = jobs
+        self.mp_context = mp_context
+        self.shard_size = shard_size
+
+    def step(self) -> Optional[WorkerReport]:
+        """Lease and finish at most one job; ``None`` when queue is idle.
+
+        A job whose artifact already exists (another worker published it
+        while this job waited) completes instantly without executing —
+        the queue-side half of the dedup guarantee.
+        """
+        leased = self.queue.lease(self.worker_id)
+        if leased is None:
+            return None
+        record, _lease = leased
+        job_id = record.job_id
+        if self.cache.has(job_id):
+            self.queue.complete(job_id, self.worker_id)
+            return WorkerReport(job_id=job_id, state="cached")
+        keeper = _LeaseKeeper(
+            self.queue, job_id, self.worker_id,
+            interval=self.queue.lease_ttl * HEARTBEAT_FRACTION)
+        keeper.start()
+        try:
+            result = execute_job(
+                record.spec(), cache=self.cache, jobs=self.jobs,
+                mp_context=self.mp_context, shard_size=self.shard_size)
+        except Exception as bad:
+            keeper.stop()
+            error = f"{type(bad).__name__}: {bad}"
+            self.queue.fail(job_id, self.worker_id, error)
+            return WorkerReport(job_id=job_id, state="failed",
+                                error=error)
+        keeper.stop()
+        self.cache.put_object(job_id, result.portable(),
+                              name=record.name, kind=record.kind)
+        completed = self.queue.complete(job_id, self.worker_id)
+        return WorkerReport(job_id=job_id,
+                            state="done" if completed else "stale")
+
+    def run_forever(self, max_jobs: Optional[int] = None,
+                    idle_exit_s: Optional[float] = None,
+                    poll_s: float = WORKER_POLL_S) -> int:
+        """Drain the queue; returns how many jobs this call finished.
+
+        Runs until ``max_jobs`` jobs are finished (``None`` = no limit)
+        or the queue has been idle for ``idle_exit_s`` seconds
+        (``None`` = wait forever) — the knobs that make daemons usable
+        in tests and CI, where "serve forever" is a hang.
+        """
+        finished = 0
+        idle_since: Optional[float] = None
+        while True:
+            report = self.step()
+            if report is not None:
+                finished += 1
+                idle_since = None
+                if max_jobs is not None and finished >= max_jobs:
+                    return finished
+                continue
+            now = time.monotonic()
+            if idle_since is None:
+                idle_since = now
+            elif idle_exit_s is not None and now - idle_since >= idle_exit_s:
+                return finished
+            time.sleep(poll_s)

@@ -18,6 +18,10 @@ import pytest
 @pytest.fixture(autouse=True)
 def _hermetic_result_cache(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+    # Same hygiene for the service plane: queues and artifact stores a
+    # test creates must be per-test, never ~/.cache/repro-service.
+    monkeypatch.setenv("REPRO_SERVICE_STORE",
+                       str(tmp_path / "repro-service"))
 
 
 @pytest.fixture

@@ -1,0 +1,206 @@
+"""The front door: submit/status/result dedup semantics + HTTP face.
+
+Locks the acceptance criteria of the client layer: concurrent identical
+submissions share one execution, warm re-submits answer from the
+artifact store without touching the queue, and the ``executor`` plug of
+:func:`repro.api.run.run` routes through the service.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api.run import run
+from repro.api.spec import ControlSpec, ExperimentSpec, ScenarioSpec
+from repro.api.validate import SpecError
+from repro.service import ServiceClient, ServiceError, ServiceStore, \
+    WorkerDaemon
+from repro.service.queue import JobQueue
+from repro.service.server import make_server
+from repro.sim.units import MINUTE
+
+from tests.test_service_worker import result_digest, tiny_spec
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ServiceStore(tmp_path / "store")
+
+
+@pytest.fixture
+def client(store):
+    return ServiceClient(store)
+
+
+def test_submit_rejects_invalid_specs(client):
+    bad = ExperimentSpec(
+        name="bad", scenario=ScenarioSpec(preset="paper-low",
+                                          n_devices=0),
+        control=ControlSpec(), seeds=(1,))
+    with pytest.raises(SpecError):
+        client.submit(bad)
+    assert client.queue.jobs() == []  # nothing enqueued
+
+
+def test_status_and_result_of_unknown_job_raise(client):
+    with pytest.raises(ServiceError, match="unknown job"):
+        client.status("f" * 64)
+    with pytest.raises(ServiceError, match="unknown job"):
+        client.result("f" * 64, timeout=0)
+
+
+def test_result_timeout_names_the_state(client):
+    job_id = client.submit(tiny_spec())
+    with pytest.raises(ServiceError, match="pending"):
+        client.result(job_id, timeout=0)
+
+
+def test_submit_execute_fetch_roundtrip(store, client):
+    job_id = client.submit(tiny_spec())
+    assert client.status(job_id).state == "pending"
+    WorkerDaemon(store).step()
+    status = client.status(job_id)
+    assert status.state == "done" and status.cached
+    fetched = client.result(job_id)
+    assert result_digest(fetched) == result_digest(run(tiny_spec()))
+
+
+def test_warm_resubmit_never_touches_the_queue(store, client, monkeypatch):
+    job_id = client.submit(tiny_spec())
+    WorkerDaemon(store).step()
+
+    def explode(self, spec, now=None):
+        raise AssertionError("warm submit must not reach the queue")
+
+    monkeypatch.setattr(JobQueue, "submit", explode)
+    assert client.submit(tiny_spec()) == job_id
+    assert client.result(job_id, timeout=0) is not None
+
+
+def test_concurrent_identical_submissions_share_one_execution(store):
+    spec = tiny_spec(name="raced")
+    barrier = threading.Barrier(6)
+    ids = []
+
+    def submitter():
+        barrier.wait()
+        ids.append(ServiceClient(store).submit(spec))
+
+    threads = [threading.Thread(target=submitter) for _ in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(set(ids)) == 1
+    # Two workers drain the queue: exactly one lease, one execution.
+    WorkerDaemon(store).run_forever(idle_exit_s=0.1, poll_s=0.01)
+    WorkerDaemon(store).run_forever(idle_exit_s=0.1, poll_s=0.01)
+    queue = store.queue()
+    leases = [e for e in queue.journal_events() if e["event"] == "lease"]
+    assert len(leases) == 1
+    digests = {result_digest(ServiceClient(store).result(ids[0]))
+               for _ in range(2)}
+    assert len(digests) == 1
+
+
+def test_failed_job_result_raises_with_error(store, client, monkeypatch):
+    import repro.service.worker as worker_module
+    job_id = client.submit(tiny_spec())
+    monkeypatch.setattr(
+        worker_module, "execute_job",
+        lambda *a, **k: (_ for _ in ()).throw(RuntimeError("kaboom")))
+    daemon = WorkerDaemon(store, max_attempts=1)
+    daemon.step()
+    with pytest.raises(ServiceError, match="kaboom"):
+        client.result(job_id, timeout=0)
+
+
+def test_run_executor_service_routes_through_store(store, monkeypatch):
+    monkeypatch.setenv("REPRO_SERVICE_STORE", str(store.root))
+    spec = tiny_spec(name="via-executor")
+    # Warm the store so executor="service" answers without a daemon.
+    job_id = ServiceClient(store).submit(spec)
+    WorkerDaemon(store).step()
+    via_service = run(spec, executor="service")
+    assert via_service.provenance.spec_hash == job_id
+    assert result_digest(via_service) == result_digest(run(spec))
+    # Any object with run() plugs in directly.
+    assert result_digest(run(spec, executor=ServiceClient(store))) == \
+        result_digest(run(spec))
+    with pytest.raises(TypeError, match="executor"):
+        run(spec, executor="teleport")
+
+
+# -- the HTTP face --------------------------------------------------------
+
+@pytest.fixture
+def http(store):
+    server = make_server(store, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+
+
+def get_json(url):
+    with urllib.request.urlopen(url) as response:
+        return response.status, json.loads(response.read())
+
+
+def post_json(url, body):
+    request = urllib.request.Request(
+        url, data=body.encode(), method="POST",
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request) as response:
+        return response.status, json.loads(response.read())
+
+
+def test_http_health_and_unknown_paths(http):
+    code, body = get_json(f"{http}/v1/health")
+    assert code == 200 and body["ok"]
+    assert body["queue"]["pending"] == 0
+    with pytest.raises(urllib.error.HTTPError) as caught:
+        get_json(f"{http}/v1/nope")
+    assert caught.value.code == 404
+
+
+def test_http_submit_poll_fetch(store, http):
+    spec = tiny_spec(name="over-http")
+    code, body = post_json(f"{http}/v1/jobs", spec.to_json())
+    assert code == 200 and body["state"] == "pending"
+    job_id = body["job_id"]
+    # Result before any worker ran: 202, poll again.
+    request = urllib.request.urlopen(f"{http}/v1/jobs/{job_id}/result")
+    assert request.status == 202
+    request.close()
+    WorkerDaemon(store).step()
+    code, body = get_json(f"{http}/v1/jobs/{job_id}")
+    assert code == 200 and body["state"] == "done" and body["cached"]
+    code, body = get_json(f"{http}/v1/jobs/{job_id}/result")
+    assert code == 200
+    assert body["spec_hash"] == job_id
+    assert "peak" in body["render"]
+    # Idempotent re-submit over HTTP: same id, already served hot.
+    code, body = post_json(f"{http}/v1/jobs", spec.to_json())
+    assert body["job_id"] == job_id and body["cached"]
+
+
+def test_http_rejects_garbage_and_invalid_specs(http):
+    with pytest.raises(urllib.error.HTTPError) as caught:
+        post_json(f"{http}/v1/jobs", "{not json")
+    assert caught.value.code == 400
+    bad = ExperimentSpec(
+        name="bad", scenario=ScenarioSpec(preset="paper-low",
+                                          n_devices=0),
+        control=ControlSpec(), seeds=(1,))
+    with pytest.raises(urllib.error.HTTPError) as caught:
+        post_json(f"{http}/v1/jobs", bad.to_json())
+    assert caught.value.code == 400
+    with pytest.raises(urllib.error.HTTPError) as caught:
+        get_json(f"{http}/v1/jobs/{'e' * 64}")
+    assert caught.value.code == 404

@@ -1,0 +1,201 @@
+"""Worker daemons: lease → execute → publish, with shard checkpointing.
+
+All single-process (``jobs=1`` runs inline), so executions are
+monkeypatchable and the tests stay deterministic; the multi-process /
+crash paths live in ``test_service_recovery.py`` and
+``test_service_concurrency.py``.
+"""
+
+import hashlib
+
+import pytest
+
+import repro
+import repro.neighborhood.shard as shard_module
+import repro.service.worker as worker_module
+from repro.api.compile import compile_shards, shard_sub_hashes
+from repro.api.run import run
+from repro.api.spec import (
+    ControlSpec,
+    ExperimentSpec,
+    FleetPlan,
+    ScenarioSpec,
+    spec_hash,
+)
+from repro.service import ServiceStore, WorkerDaemon
+from repro.sim.units import MINUTE
+
+N_HOMES = 70
+SHARD = 16
+
+
+def tiny_spec(seed=1, name="svc-single"):
+    return ExperimentSpec(
+        name=name, scenario=ScenarioSpec(preset="paper-low"),
+        control=ControlSpec(cp_fidelity="ideal"),
+        seeds=(seed,), until_s=45 * MINUTE)
+
+
+def fleet_spec(seed=7, homes=N_HOMES):
+    return ExperimentSpec(
+        name="svc-fleet", kind="neighborhood",
+        scenario=ScenarioSpec(horizon_s=30 * MINUTE),
+        control=ControlSpec(cp_fidelity="ideal"),
+        seeds=(seed,), fleet=FleetPlan(homes=homes, mix="suburb"))
+
+
+def result_digest(result):
+    """Value digest over every observable of a Result, any kind."""
+    parts = []
+    for one in result.runs:
+        times, values = one.load_w._data()
+        parts.append(times.tobytes() + values.tobytes())
+    if result.neighborhood is not None:
+        times, values = result.neighborhood.feeder_w._data()
+        parts.append(times.tobytes() + values.tobytes())
+        parts.append(repr(result.neighborhood.home_stats()).encode())
+    return hashlib.sha256(b"".join(parts)).hexdigest()
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ServiceStore(tmp_path / "store")
+
+
+def test_step_on_empty_queue_is_none(store):
+    assert WorkerDaemon(store).step() is None
+
+
+def test_step_executes_and_publishes(store):
+    queue = store.queue()
+    job_id, _ = queue.submit(tiny_spec())
+    report = WorkerDaemon(store).step()
+    assert report.state == "done" and report.job_id == job_id
+    assert queue.job(job_id).state == "done"
+    stored = store.cache().get_object(job_id)
+    assert result_digest(stored) == result_digest(run(tiny_spec()))
+
+
+def test_step_completes_from_artifact_without_executing(store, monkeypatch):
+    queue = store.queue()
+    job_id, _ = queue.submit(tiny_spec())
+    WorkerDaemon(store).step()
+    queue.requeue(job_id)  # job pending again, artifact already stored
+
+    def explode(*args, **kwargs):
+        raise AssertionError("must not execute a warm job")
+
+    monkeypatch.setattr(worker_module, "execute_job", explode)
+    report = WorkerDaemon(store).step()
+    assert report.state == "cached"
+    assert queue.job(job_id).state == "done"
+
+
+def test_failed_execution_retries_then_goes_terminal(store, monkeypatch):
+    queue = store.queue(max_attempts=2)
+    job_id, _ = queue.submit(tiny_spec())
+
+    def explode(*args, **kwargs):
+        raise RuntimeError("synthetic execution failure")
+
+    monkeypatch.setattr(worker_module, "execute_job", explode)
+    daemon = WorkerDaemon(store, max_attempts=2)
+    first = daemon.step()
+    assert first.state == "failed"
+    assert "synthetic execution failure" in first.error
+    assert queue.job(job_id).state == "pending"  # one attempt left
+    second = daemon.step()
+    assert second.state == "failed"
+    assert queue.job(job_id).state == "failed"  # terminal
+    assert daemon.step() is None
+
+
+def test_stale_completion_still_publishes_artifact(store, monkeypatch):
+    queue = store.queue()
+    job_id, _ = queue.submit(tiny_spec())
+    real_execute = worker_module.execute_job
+
+    def execute_and_lose_lease(spec, **kwargs):
+        # Mid-execution the lease "expires" (injected future timestamp)
+        # and a rival takes the job over — no sleeping required.
+        import time
+        stolen = queue.lease("rival",
+                             now=time.time() + queue.lease_ttl + 1.0)
+        assert stolen is not None and stolen[1].worker == "rival"
+        return real_execute(spec, **kwargs)
+
+    monkeypatch.setattr(worker_module, "execute_job",
+                        execute_and_lose_lease)
+    report = WorkerDaemon(store).step()
+    assert report.state == "stale"
+    # The artifact landed anyway — bit-identical to what the rival would
+    # produce — and the job record still belongs to the rival.
+    assert store.cache().has(job_id)
+    assert queue.job(job_id).state == "running"
+
+
+def test_run_forever_honours_max_jobs_and_idle_exit(store):
+    queue = store.queue()
+    queue.submit(tiny_spec(seed=1))
+    queue.submit(tiny_spec(seed=2))
+    daemon = WorkerDaemon(store)
+    assert daemon.run_forever(max_jobs=1) == 1
+    assert daemon.run_forever(idle_exit_s=0.2, poll_s=0.01) == 1
+    assert queue.counts()["done"] == 2
+
+
+# -- neighborhood jobs: per-shard checkpointing ---------------------------
+
+def test_shard_sub_hashes_are_stable_and_partition_scoped():
+    spec = fleet_spec()
+    shards = compile_shards(spec, shard_size=SHARD)
+    hashes = shard_sub_hashes(spec, shards)
+    assert len(hashes) == len(shards)
+    assert hashes == shard_sub_hashes(spec, shards)  # stable
+    assert len(set(hashes.values())) == len(hashes)  # distinct per shard
+    # A different partition gets disjoint addresses.
+    other = shard_sub_hashes(spec, compile_shards(spec, shard_size=32))
+    assert not set(hashes.values()) & set(other.values())
+    # A different parent spec too.
+    rival = fleet_spec(seed=8)
+    assert not set(hashes.values()) & set(
+        shard_sub_hashes(rival, compile_shards(rival,
+                                               shard_size=SHARD)).values())
+
+
+def test_neighborhood_job_checkpoints_every_shard(store):
+    spec = fleet_spec()
+    job_id, _ = store.queue().submit(spec)
+    report = WorkerDaemon(store, shard_size=SHARD).step()
+    assert report.state == "done"
+    shards = compile_shards(spec, shard_size=SHARD)
+    cache = store.cache()
+    for key in shard_sub_hashes(spec, shards).values():
+        triple = cache.get_object(key)
+        assert triple is not None and triple[0] == "ok"
+    assert result_digest(cache.get_object(job_id)) == \
+        result_digest(run(spec))
+
+
+def test_crash_resume_replays_checkpoints_without_executing(
+        store, monkeypatch):
+    spec = fleet_spec()
+    queue = store.queue()
+    job_id, _ = queue.submit(spec)
+    WorkerDaemon(store, shard_size=SHARD).step()
+    baseline = result_digest(store.cache().get_object(job_id))
+    # Simulate the re-lease after a crash that happened *after* all
+    # shards checkpointed but before the final artifact published:
+    # drop the artifact, requeue, and forbid shard execution.
+    store.cache().discard(
+        store.cache().key_of(job_id, repro.__version__))
+    queue.requeue(job_id)
+
+    def explode(shard):
+        raise AssertionError(
+            f"shard {shard.index} executed despite its checkpoint")
+
+    monkeypatch.setattr(shard_module, "_execute_shard", explode)
+    report = WorkerDaemon(store, shard_size=SHARD).step()
+    assert report.state == "done"
+    assert result_digest(store.cache().get_object(job_id)) == baseline

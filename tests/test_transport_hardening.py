@@ -1,0 +1,134 @@
+"""PR 6 hardening of the batched series transport.
+
+Locks the two multi-process bug fixes in
+:mod:`repro.neighborhood.transport`:
+
+* ``pack_series`` zero-fills its padding slot — repeated packs of the
+  same series (including the empty frame, whose block is *all*
+  padding) are byte-identical, so digests/dedup over pickled frames
+  are sound;
+* ``unpack_series`` surfaces a reaped shared-memory segment (worker
+  crashed between pack and unpack — the service re-lease scenario) as
+  a typed :class:`~repro.neighborhood.transport.FrameUnavailableError`,
+  and closes the segment when mapping fails after attach so the fd
+  doesn't leak.
+"""
+
+import numpy as np
+import pytest
+
+from repro.neighborhood.transport import (
+    FrameUnavailableError,
+    SeriesFrame,
+    pack_series,
+    shared_memory_available,
+    unpack_series,
+)
+from repro.sim.monitor import StepSeries
+
+
+def series(name, points):
+    built = StepSeries(name)
+    for t, v in points:
+        built.record(t, v)
+    return built
+
+
+def sample_series():
+    return [series("a", [(0.0, 1.0), (5.0, 0.0)]),
+            series("b", []),
+            series("c", [(1.5, 2.5)])]
+
+
+needs_shm = pytest.mark.skipif(not shared_memory_available(),
+                               reason="no POSIX shared memory here")
+
+
+# -- padding determinism (the np.empty bug) -------------------------------
+
+def test_empty_frame_blob_is_deterministic():
+    # All-padding block: before the fix this shipped one uninitialized
+    # float, making consecutive packs byte-unequal.
+    blobs = {pack_series([], "pickle").blob for _ in range(20)}
+    assert blobs == {np.zeros((2, 1)).tobytes()}
+
+
+def test_repeated_packs_are_byte_identical():
+    first = pack_series(sample_series(), "pickle")
+    for _ in range(10):
+        again = pack_series(sample_series(), "pickle")
+        assert again.blob == first.blob
+        assert again.names == first.names
+        assert again.lengths == first.lengths
+
+
+def test_empty_frame_roundtrips():
+    frame = pack_series([series("only", [])], "pickle")
+    (rebuilt,) = unpack_series(frame)
+    assert rebuilt.name == "only"
+    assert len(rebuilt) == 0
+
+
+@needs_shm
+def test_shm_empty_frame_roundtrips():
+    frame = pack_series([], "shm")
+    assert frame.shm_name is not None
+    assert unpack_series(frame) == []
+
+
+# -- reaped-segment handling (the FileNotFoundError bug) ------------------
+
+@needs_shm
+def test_reaped_segment_raises_typed_error():
+    frame = pack_series(sample_series(), "shm")
+    from multiprocessing import shared_memory
+    victim = shared_memory.SharedMemory(name=frame.shm_name)
+    victim.unlink()  # simulate the crashed worker's segment being reaped
+    victim.close()
+    with pytest.raises(FrameUnavailableError) as caught:
+        unpack_series(frame)
+    assert caught.value.shm_name == frame.shm_name
+    assert "re-execute the shard" in str(caught.value)
+    assert isinstance(caught.value.__cause__, FileNotFoundError)
+
+
+def test_missing_segment_raises_typed_error_without_shm_probe():
+    # A frame naming a segment that never existed: same typed error,
+    # regardless of platform shm support (attach just fails).
+    frame = SeriesFrame(names=("x",), lengths=(1,),
+                        shm_name="repro-test-no-such-segment")
+    if not shared_memory_available():
+        pytest.skip("no POSIX shared memory here")
+    with pytest.raises(FrameUnavailableError):
+        unpack_series(frame)
+
+
+@needs_shm
+def test_map_failure_closes_segment(monkeypatch):
+    # A segment smaller than the frame's layout claims: the np.ndarray
+    # mapping raises, and unpack must close() the attached segment so
+    # the fd doesn't leak for the life of the process.
+    frame = pack_series(sample_series(), "shm")
+    lying = SeriesFrame(names=frame.names,
+                        lengths=tuple(length + 1000
+                                      for length in frame.lengths),
+                        shm_name=frame.shm_name)
+    from multiprocessing import shared_memory
+    closed = []
+    original_close = shared_memory.SharedMemory.close
+
+    def recording_close(self):
+        closed.append(self.name)
+        return original_close(self)
+
+    monkeypatch.setattr(shared_memory.SharedMemory, "close",
+                        recording_close)
+    with pytest.raises(FrameUnavailableError) as caught:
+        unpack_series(lying)
+    assert frame.shm_name in closed
+    assert "cannot map" in str(caught.value)
+    monkeypatch.undo()
+    # The failed unpack already unlinked the segment; attaching again
+    # now reports it gone (nothing left behind in /dev/shm).
+    with pytest.raises(FrameUnavailableError):
+        unpack_series(frame)

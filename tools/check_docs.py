@@ -56,6 +56,11 @@ API_MODULES = [
     "repro.neighborhood.fleet",
     "repro.neighborhood.shard",
     "repro.neighborhood.transport",
+    "repro.service.client",
+    "repro.service.queue",
+    "repro.service.server",
+    "repro.service.store",
+    "repro.service.worker",
 ]
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
