@@ -29,9 +29,10 @@ from repro.core import (
 from repro.workloads import PAPER_RATES, Scenario, paper_scenario
 
 #: Release version; also the result-cache invalidation key — bumped here
-#: because pickled result layouts changed (NeighborhoodResult grew
-#: precomputed per-home stats), so pre-1.2 cache entries must miss.
-__version__ = "1.3.0"
+#: because pickled result layouts changed (Result grew the ``grid``
+#: payload, ShardSpec/ShardOutcome grew envelope fields), so pre-1.4
+#: cache entries must miss.
+__version__ = "1.4.0"
 
 __all__ = [
     "HanConfig",

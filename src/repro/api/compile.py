@@ -11,6 +11,9 @@ engine runs:
   :class:`~repro.experiments.runner.ParallelRunner` consumes directly;
 * :func:`compile_fleet` — a neighborhood spec →
   :class:`~repro.neighborhood.fleet.FleetSpec`;
+* :func:`compile_grid` — a grid spec →
+  :class:`~repro.neighborhood.grid.GridSpec` (one built fleet per
+  feeder, seeds derived per feeder);
 * :data:`ARTEFACTS` / :func:`resolve_artefact` — registry artefact
   kinds → their generator callables (resolved lazily so the spec layer
   stays import-light and cycle-free).
@@ -48,6 +51,7 @@ ARTEFACTS: dict[str, tuple[str, str]] = {
                    "neighborhood_coordination"),
     "abl-st-vs-at": ("repro.experiments.ablations", "st_vs_at"),
     "abl-spof": ("repro.experiments.ablations", "spof_comparison"),
+    "grid-10k": ("repro.experiments.ablations", "grid_uplift"),
 }
 
 #: ScenarioSpec field → Scenario field (identical units).
@@ -180,6 +184,37 @@ def compile_fleet(spec: ExperimentSpec, builder=None):
                    horizon=spec.scenario.horizon_s,
                    rate_jitter=plan.rate_jitter,
                    size_jitter=plan.size_jitter)
+
+
+def compile_grid(spec: ExperimentSpec, builder=None):
+    """Build the deterministic GridSpec of a ``grid`` spec.
+
+    The grid root seed is ``spec.seeds[0]``; feeder ``i`` builds with
+    :func:`repro.neighborhood.grid.feeder_seed` of it (feeder 0
+    inherits the root, so a one-feeder grid compiles the exact fleet
+    the ``neighborhood`` kind compiles) and per-home seeds derive one
+    level further down.  Scenario/control lowering mirrors
+    :func:`compile_fleet`: only ``scenario.horizon_s`` plus the control
+    section's policy and CP fidelity apply.
+
+    ``builder`` swaps the grid constructor (default
+    :func:`~repro.neighborhood.grid.build_grid`), same contract as
+    :func:`compile_fleet`'s hook.
+    """
+    if spec.grid is None:
+        raise ValueError(f"spec {spec.name!r} has no grid section")
+    if builder is None:
+        from repro.neighborhood.grid import build_grid
+        builder = build_grid
+    plans = [{"homes": feeder.homes, "mix": feeder.mix,
+              "rate_jitter": feeder.rate_jitter,
+              "size_jitter": feeder.size_jitter}
+             for feeder in spec.grid.feeders]
+    return builder(plans, seed=spec.seeds[0],
+                   policy=spec.control.policy,
+                   cp_fidelity=spec.control.cp_fidelity,
+                   horizon=spec.scenario.horizon_s,
+                   name=spec.name)
 
 
 def shard_sub_hash(parent_hash: str, shard) -> str:

@@ -65,15 +65,16 @@ class Result:
     """Uniform envelope for every run shape.
 
     Exactly one payload field is populated, by kind: ``runs`` (single and
-    sweep — flat, in compile order), ``neighborhood``, or ``artefact``.
-    The accessors below reshape ``runs`` into the per-policy / per-rate
-    views the analysis layer works with.
+    sweep — flat, in compile order), ``neighborhood``, ``grid``, or
+    ``artefact``.  The accessors below reshape ``runs`` into the
+    per-policy / per-rate views the analysis layer works with.
     """
 
     spec: ExperimentSpec
     provenance: Provenance
     runs: list[RunResult] = field(default_factory=list)
     neighborhood: Optional[object] = None
+    grid: Optional[object] = None
     artefact: Optional[object] = None
 
     def run_result(self) -> RunResult:
@@ -127,6 +128,8 @@ class Result:
             body = text if text is not None else repr(self.artefact)
         elif self.neighborhood is not None:
             body = self.neighborhood.render()
+        elif self.grid is not None:
+            body = self.grid.render()
         else:
             rows = [[run.config.seed,
                      run.config.policy,
@@ -239,6 +242,15 @@ def _execute(spec: ExperimentSpec, provenance: Provenance, jobs: int,
             shard_size=shard_size)
         return Result(spec=spec, provenance=provenance,
                       neighborhood=neighborhood)
+    if spec.kind == "grid":
+        from repro.api.compile import compile_grid
+        from repro.neighborhood.grid import execute_grid
+        grid = compile_grid(spec)
+        payload = execute_grid(
+            grid, jobs=jobs, until=spec.until_s, mp_context=mp_context,
+            coordination=spec.grid.coordination, spec=spec,
+            shard_size=shard_size)
+        return Result(spec=spec, provenance=provenance, grid=payload)
     # artefact
     import inspect
     generator = resolve_artefact(spec.artefact.kind)

@@ -14,11 +14,13 @@ validated with readable error paths (``fleet.mix: unknown preset
 Layout of the tree::
 
     ExperimentSpec
-    ├── kind: "single" | "sweep" | "neighborhood" | "artefact"
+    ├── kind: "single" | "sweep" | "neighborhood" | "grid" | "artefact"
     ├── scenario: ScenarioSpec   (preset + per-field overrides)
     ├── control:  ControlSpec    (policy, CP fidelity, radio knobs)
     ├── seeds / until_s
     ├── fleet:    FleetPlan      (neighborhood runs only)
+    ├── grid:     GridPlan       (multi-feeder grid runs only)
+    │   └── feeders: (FeederPlan, ...)
     ├── sweep:    SweepSpec      (sweep runs only)
     └── artefact: ArtefactSpec   (registry artefacts only)
 
@@ -39,8 +41,8 @@ from typing import Any, Mapping, Optional
 #: stored spec is never silently misread.
 SCHEMA_VERSION = 1
 
-#: The four run shapes a spec can describe.
-KINDS = ("single", "sweep", "neighborhood", "artefact")
+#: The five run shapes a spec can describe.
+KINDS = ("single", "sweep", "neighborhood", "grid", "artefact")
 
 
 @dataclass(frozen=True)
@@ -105,6 +107,41 @@ class FleetPlan:
 
 
 @dataclass(frozen=True)
+class FeederPlan:
+    """One feeder of a grid: a fleet build minus the coordination mode.
+
+    Same build knobs as :class:`FleetPlan` (they compile through the same
+    :func:`repro.neighborhood.fleet.build_fleet`); coordination lives on
+    the enclosing :class:`GridPlan` because it is a property of the grid,
+    not of one feeder.  Feeder ``i`` builds with
+    :func:`repro.neighborhood.grid.feeder_seed` of the spec seed — feeder
+    0 inherits the root seed, so a single-feeder grid reproduces the
+    ``neighborhood`` kind bit-for-bit.
+    """
+
+    homes: int = 20
+    mix: str = "suburb"
+    rate_jitter: float = 0.25
+    size_jitter: float = 0.2
+
+
+@dataclass(frozen=True)
+class GridPlan:
+    """Grid section: feeders under one substation, plus the tier policy.
+
+    ``coordination`` is one of
+    :data:`repro.neighborhood.grid.GRID_COORDINATION_MODES`:
+    ``"independent"`` (no negotiation anywhere), ``"feeder"`` (today's
+    per-feeder CP rounds, nothing above), or ``"substation"`` (per-feeder
+    rounds, then feeder-level envelopes negotiate at the substation
+    tier).
+    """
+
+    feeders: tuple[FeederPlan, ...] = (FeederPlan(),)
+    coordination: str = "independent"
+
+
+@dataclass(frozen=True)
 class SweepSpec:
     """Sweep axes: arrival rates x policies (seeds ride on the spec).
 
@@ -152,6 +189,7 @@ class ExperimentSpec:
     seeds: tuple[int, ...] = (1,)
     until_s: Optional[float] = None
     fleet: Optional[FleetPlan] = None
+    grid: Optional[GridPlan] = None
     sweep: Optional[SweepSpec] = None
     artefact: Optional[ArtefactSpec] = None
     schema_version: int = SCHEMA_VERSION
@@ -171,6 +209,10 @@ class ExperimentSpec:
             if self.until_s is not None else None,
             "fleet": _section_to_dict(self.fleet)
             if self.fleet is not None else None,
+            "grid": {"feeders": [_section_to_dict(feeder)
+                                 for feeder in self.grid.feeders],
+                     "coordination": self.grid.coordination}
+            if self.grid is not None else None,
             "sweep": {"rates": [float(rate) for rate in self.sweep.rates],
                       "policies": list(self.sweep.policies)}
             if self.sweep is not None else None,
@@ -200,6 +242,13 @@ class ExperimentSpec:
                                          ControlSpec))
         fleet = FleetPlan(**_coerced(data["fleet"], FleetPlan)) \
             if data.get("fleet") is not None else None
+        grid_data = data.get("grid")
+        grid = GridPlan(
+            feeders=tuple(FeederPlan(**_coerced(feeder, FeederPlan))
+                          for feeder in grid_data["feeders"]),
+            coordination=grid_data.get("coordination",
+                                       GridPlan.coordination)) \
+            if grid_data is not None else None
         sweep_data = data.get("sweep")
         sweep = SweepSpec(rates=tuple(float(rate) for rate
                                       in sweep_data.get("rates", ())),
@@ -220,7 +269,7 @@ class ExperimentSpec:
                    seeds=tuple(data.get("seeds", (1,))),
                    until_s=float(until_s) if until_s is not None
                    else None,
-                   fleet=fleet, sweep=sweep, artefact=artefact,
+                   fleet=fleet, grid=grid, sweep=sweep, artefact=artefact,
                    schema_version=data.get("schema_version",
                                            SCHEMA_VERSION))
 
@@ -292,6 +341,7 @@ _FLOAT_FIELDS = {
     ControlSpec: ("cp_period", "shadowing_sigma_db",
                   "path_loss_exponent", "ci_derating"),
     FleetPlan: ("rate_jitter", "size_jitter"),
+    FeederPlan: ("rate_jitter", "size_jitter"),
 }
 
 

@@ -170,6 +170,35 @@ def _validate_fleet(data: Mapping[str, Any]) -> None:
     _number(data.get("size_jitter", 0.2), "fleet.size_jitter", minimum=0.0)
 
 
+def _validate_grid(data: Mapping[str, Any]) -> None:
+    from repro.neighborhood.grid import GRID_COORDINATION_MODES
+    from repro.workloads.scenarios import FLEET_MIXES
+    _check_keys(data, ("feeders", "coordination"), "grid")
+    feeders = data.get("feeders")
+    if not isinstance(feeders, (list, tuple)) or not feeders:
+        raise SpecError("grid.feeders",
+                        f"must be a non-empty list of feeder objects, "
+                        f"got {feeders!r}")
+    allowed = ("homes", "mix", "rate_jitter", "size_jitter")
+    for index, feeder in enumerate(feeders):
+        path = f"grid.feeders[{index}]"
+        feeder = _section(feeder, path)
+        _check_keys(feeder, allowed, path)
+        _number(feeder.get("homes", 20), f"{path}.homes", minimum=1,
+                integer=True)
+        mix = feeder.get("mix", "suburb")
+        _string(mix, f"{path}.mix")
+        if mix not in FLEET_MIXES:
+            raise SpecError(f"{path}.mix",
+                            _unknown(mix, "preset", FLEET_MIXES))
+        _number(feeder.get("rate_jitter", 0.25), f"{path}.rate_jitter",
+                minimum=0.0)
+        _number(feeder.get("size_jitter", 0.2), f"{path}.size_jitter",
+                minimum=0.0)
+    _choice(data.get("coordination", "independent"), "grid.coordination",
+            "grid coordination mode", GRID_COORDINATION_MODES)
+
+
 def _validate_sweep(data: Mapping[str, Any]) -> None:
     from repro.core.system import POLICIES
     _check_keys(data, ("rates", "policies"), "sweep")
@@ -234,6 +263,7 @@ _KIND_SECTIONS = {
     "single": None,
     "sweep": "sweep",
     "neighborhood": "fleet",
+    "grid": "grid",
     "artefact": "artefact",
 }
 
@@ -247,7 +277,7 @@ def validate_data(data: Mapping[str, Any]) -> None:
     if not isinstance(data, Mapping):
         raise SpecError("", f"spec must be an object, got {data!r}")
     allowed = ("schema_version", "name", "kind", "scenario", "control",
-               "seeds", "until_s", "fleet", "sweep", "artefact")
+               "seeds", "until_s", "fleet", "grid", "sweep", "artefact")
     _check_keys(data, allowed, "")
     version = data.get("schema_version", SCHEMA_VERSION)
     if not isinstance(version, int) or isinstance(version, bool):
@@ -278,6 +308,7 @@ def validate_data(data: Mapping[str, Any]) -> None:
 
     required = _KIND_SECTIONS[kind]
     for section_name, validator in (("fleet", _validate_fleet),
+                                    ("grid", _validate_grid),
                                     ("sweep", _validate_sweep),
                                     ("artefact", _validate_artefact)):
         section_data = data.get(section_name)
@@ -294,7 +325,7 @@ def validate_data(data: Mapping[str, Any]) -> None:
 
 def _kind_of(section_name: str) -> str:
     """The spec kind a section belongs to (for error messages)."""
-    return {"fleet": "neighborhood", "sweep": "sweep",
+    return {"fleet": "neighborhood", "grid": "grid", "sweep": "sweep",
             "artefact": "artefact"}[section_name]
 
 
@@ -326,7 +357,7 @@ def _reject_dead_fields(data: Mapping[str, Any], kind: str) -> None:
     scenario = _section(data.get("scenario", {}), "scenario")
     control = _section(data.get("control", {}), "control")
     seeds = data.get("seeds", [1])
-    if kind == "neighborhood":
+    if kind in ("neighborhood", "grid"):
         # Homes draw their workloads from the fleet mix's archetypes;
         # only the shared horizon crosses into the fleet build.
         scenario_defaults = _defaults_of(ScenarioSpec)
@@ -335,14 +366,14 @@ def _reject_dead_fields(data: Mapping[str, Any], kind: str) -> None:
                 continue
             raise SpecError(
                 f"scenario.{key}",
-                "not applicable to kind 'neighborhood' (homes draw "
+                f"not applicable to kind {kind!r} (homes draw "
                 "their workloads from the fleet mix; only "
                 "scenario.horizon_s applies)")
         if len(seeds) > 1:
             raise SpecError(
                 "seeds",
-                "kind 'neighborhood' uses a single fleet seed (per-home "
-                "seeds derive from it); got "
+                f"kind {kind!r} uses a single root seed (per-feeder and "
+                "per-home seeds derive from it); got "
                 f"{len(seeds)} seeds")
     elif kind == "sweep":
         if control.get("policy", "coordinated") != "coordinated":

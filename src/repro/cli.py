@@ -22,6 +22,8 @@ Usage::
     python -m repro spec dump --all --out specs/
     python -m repro neighborhood --homes 20 --jobs 4 --mix suburb
     python -m repro neighborhood --homes 20 --coordinate   # feeder CP
+    python -m repro grid --feeders 4 --homes 25 --jobs 4   # multi-feeder
+    python -m repro grid --feeders 4 --coordinate substation
     python -m repro regen FIG2A HEADLINE --jobs 2
     python -m repro regen --no-cache               # force re-simulation
     python -m repro cache ls                       # inspect result cache
@@ -44,11 +46,13 @@ from typing import Optional, Sequence
 
 from repro.analysis.report import format_table
 from repro.api import run as run_spec
-from repro.api.compile import compile_fleet
+from repro.api.compile import compile_fleet, compile_grid
 from repro.api.spec import (
     ControlSpec,
     ExperimentSpec,
+    FeederPlan,
     FleetPlan,
+    GridPlan,
     ScenarioSpec,
     spec_from_config,
     spec_from_scenario,
@@ -57,7 +61,13 @@ from repro.api.validate import SpecError, validate
 from repro.core.system import FIDELITIES, POLICIES
 from repro.experiments import ablations, cp_trace, figures
 from repro.experiments.runner import WorkerFailure, run_registry
-from repro.neighborhood import build_fleet, execute_fleet
+from repro.neighborhood import (
+    GRID_COORDINATION_MODES,
+    build_fleet,
+    build_grid,
+    execute_fleet,
+    execute_grid,
+)
 from repro.sim.units import MINUTE
 from repro.workloads.scenarios import FLEET_MIXES, paper_scenario
 
@@ -153,6 +163,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the neighborhood result as JSON")
     p.add_argument("--export-csv", metavar="PATH", default=None,
                    help="write feeder + per-home load columns as CSV")
+
+    p = sub.add_parser("grid",
+                       help="fleet of fleets: F feeders under one "
+                            "substation")
+    p.add_argument("--feeders", type=int, default=3,
+                   help="number of feeders under the substation")
+    p.add_argument("--homes", type=int, default=20,
+                   help="homes per feeder")
+    p.add_argument("--mix", choices=sorted(FLEET_MIXES), default="suburb")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the shard fan-out")
+    p.add_argument("--seed", type=int, default=1,
+                   help="grid root seed (feeder and home seeds derive "
+                        "from it)")
+    p.add_argument("--coordinate", choices=GRID_COORDINATION_MODES,
+                   default="independent", metavar="TIER",
+                   help="coordination tier: independent (none), feeder "
+                        "(per-feeder CP rounds), or substation (feeder "
+                        "rounds plus feeder-envelope negotiation at the "
+                        "substation)")
+    p.add_argument("--shard-size", type=int, default=None,
+                   help="homes per execution shard (default: auto; "
+                        "results are bit-identical either way)")
+    p.add_argument("--policy", choices=POLICIES, default="coordinated")
+    p.add_argument("--fidelity", choices=FIDELITIES, default="round")
+    p.add_argument("--horizon-min", type=float, default=None,
+                   help="override the 350 min horizon")
 
     p = sub.add_parser("regen",
                        help="regenerate registry artefacts (parallelisable)")
@@ -474,6 +511,30 @@ def _dispatch(args: argparse.Namespace) -> int:
             from repro.analysis.export import neighborhood_to_csv
             path = neighborhood_to_csv(result, args.export_csv)
             print(f"series written to {path}")
+    elif args.command == "grid":
+        _check_jobs(args.jobs)
+        if args.feeders < 1:
+            raise _BadInput(f"feeders must be >= 1, got {args.feeders}")
+        spec = ExperimentSpec(
+            name=f"cli-grid-{args.feeders}x{args.homes}",
+            kind="grid",
+            scenario=ScenarioSpec(horizon_s=horizon),
+            control=ControlSpec(policy=args.policy,
+                                cp_fidelity=args.fidelity),
+            seeds=(args.seed,),
+            grid=GridPlan(
+                feeders=tuple(FeederPlan(homes=args.homes, mix=args.mix)
+                              for _ in range(args.feeders)),
+                coordination=args.coordinate))
+        validate(spec)
+        # Same one-lowering-path contract as `repro neighborhood`: the
+        # executed grid and the provenance spec both come from
+        # compile_grid, so they cannot diverge.
+        grid = _checked(compile_grid, spec, builder=build_grid)
+        result = _checked(execute_grid, grid, jobs=args.jobs,
+                          coordination=args.coordinate, spec=spec,
+                          shard_size=args.shard_size)
+        print(result.render())
     elif args.command == "regen":
         _check_jobs(args.jobs)
         from repro.api.cache import ResultCache

@@ -122,6 +122,14 @@ _register(
     ablations.spof_comparison,
     "benchmarks/test_bench_ablation_variants.py",
     "abl-spof", "abl-spof")
+_register(
+    "GRID-10K", "beyond-paper: hierarchical multi-feeder grid",
+    "10,000 homes on 20 feeders under one substation: two-tier "
+    "coordination and the substation-level diversity uplift, "
+    "profile-digest locked",
+    ablations.grid_uplift,
+    "benchmarks/test_bench_grid.py",
+    "grid-10k", "grid-10k")
 
 
 def get(exp_id: str) -> Experiment:

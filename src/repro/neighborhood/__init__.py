@@ -1,6 +1,6 @@
 """Neighborhood layer: many heterogeneous HANs behind one feeder.
 
-Six modules, one pipeline (see ``docs/architecture.md``):
+Seven modules, one pipeline (see ``docs/architecture.md``):
 
 * :mod:`~repro.neighborhood.fleet` — deterministic heterogeneous fleet
   construction (:func:`build_fleet`);
@@ -13,7 +13,10 @@ Six modules, one pipeline (see ``docs/architecture.md``):
 * :mod:`~repro.neighborhood.coordination` — the feeder-level
   collaboration plane (:func:`coordinate_fleet`, ``docs/coordination.md``);
 * :mod:`~repro.neighborhood.aggregate` — exact feeder summation and
-  feeder statistics (:func:`feeder_stats`).
+  feeder statistics (:func:`feeder_stats`);
+* :mod:`~repro.neighborhood.grid` — fleet of fleets: multi-feeder grids
+  under one substation with two-tier coordination
+  (:func:`execute_grid`, ``docs/grid.md``).
 """
 
 from repro.neighborhood.aggregate import (
@@ -34,6 +37,7 @@ from repro.neighborhood.coordination import (
     negotiate_offsets,
     phase_envelope,
     rotate_series,
+    snap_bin,
 )
 from repro.neighborhood.federation import (
     COORDINATION_MODES,
@@ -46,6 +50,15 @@ from repro.neighborhood.fleet import (
     HomeSpec,
     build_fleet,
     home_seed,
+)
+from repro.neighborhood.grid import (
+    GRID_COORDINATION_MODES,
+    GridResult,
+    GridSpec,
+    build_grid,
+    coordinate_profiles,
+    execute_grid,
+    feeder_seed,
 )
 from repro.neighborhood.shard import (
     ShardSpec,
@@ -61,15 +74,22 @@ __all__ = [
     "FeederPlane",
     "FeederStats",
     "FleetSpec",
+    "GRID_COORDINATION_MODES",
+    "GridResult",
+    "GridSpec",
     "HomeItem",
     "HomeSpec",
     "NeighborhoodResult",
     "SeriesPartial",
     "ShardSpec",
     "build_fleet",
+    "build_grid",
     "combine_partials",
     "coordinate_fleet",
+    "coordinate_profiles",
     "execute_fleet",
+    "execute_grid",
+    "feeder_seed",
     "feeder_stats",
     "home_seed",
     "negotiate_offsets",
@@ -79,5 +99,6 @@ __all__ = [
     "rotate_series",
     "run_neighborhood",
     "shard_fleet",
+    "snap_bin",
     "sum_series",
 ]

@@ -166,6 +166,20 @@ class FeederCoordination:
 # envelopes and rotation
 # ---------------------------------------------------------------------------
 
+def snap_bin(horizon: float, bin_s: float) -> float:
+    """The envelope bin width snapped so bins tile ``horizon`` exactly.
+
+    The claim objective rolls envelopes on a cycle of ``bins × bin_s``
+    and rotation wraps at the horizon — the two cycles must be the same
+    length or the negotiated offsets optimize a mis-wrapped profile.
+    Both :func:`coordinate_fleet` and the shard planner's envelope
+    pre-reduction (:attr:`repro.neighborhood.shard.ShardSpec.envelope_bin_s`)
+    go through this one function, so a worker-side envelope is always
+    computed at exactly the bin the parent will negotiate with.
+    """
+    n_bins = max(int(round(horizon / bin_s)), 1)
+    return horizon / n_bins
+
 def _segment_table(series: StepSeries, horizon: float,
                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """``(starts, ends, values)`` arrays partitioning ``[0, horizon)``.
@@ -388,6 +402,8 @@ def coordinate_fleet(fleet: "FleetSpec", results: Sequence[RunResult],
                      horizon: float,
                      config: Optional[FeederConfig] = None,
                      partials: Optional[Sequence[object]] = None,
+                     envelopes: Optional[
+                         Sequence[tuple[float, ...]]] = None,
                      ) -> FeederCoordination:
     """Negotiate and apply cross-home phase offsets for a finished run.
 
@@ -402,6 +418,12 @@ def coordinate_fleet(fleet: "FleetSpec", results: Sequence[RunResult],
     of a sharded run, when available — let the independent baseline
     profile fold from S shard columns instead of N homes; the value is
     bit-identical either way.
+
+    ``envelopes`` — per-home phase envelopes (fleet order) the shard
+    workers pre-reduced at :func:`snap_bin`'s width — skip the
+    parent-side :func:`phase_envelope` pass entirely.
+    :func:`phase_envelope` is pure, so precomputed and recomputed
+    envelopes are the same tuples and the negotiation is bit-identical.
     """
     if config is None:
         config = FeederConfig()
@@ -412,18 +434,21 @@ def coordinate_fleet(fleet: "FleetSpec", results: Sequence[RunResult],
     epoch = config.epoch if config.epoch is not None \
         else max(home.scenario.max_dcp for home in fleet.homes)
     epoch = min(epoch, horizon)
-    # Snap the bin width so bins tile the horizon exactly: the claim
-    # objective rolls envelopes on a cycle of bins x bin_s, and rotation
-    # wraps at the horizon — the two cycles must be the same length or
-    # the negotiated offsets optimize a mis-wrapped profile.
-    n_bins = max(int(round(horizon / config.bin_s)), 1)
-    bin_s = horizon / n_bins
+    bin_s = snap_bin(horizon, config.bin_s)
     shifts = max(int(epoch / bin_s + 1e-9), 1)
     home_ids = [home.home_id for home in fleet.homes]
-    envelopes = {
-        home.home_id: phase_envelope(result.load_w, horizon, bin_s)
-        for home, result in zip(fleet.homes, results)}
-    claims, cp_stats, sweeps = negotiate_offsets(home_ids, envelopes,
+    if envelopes is not None:
+        if len(envelopes) != fleet.n_homes:
+            raise ValueError(
+                f"fleet has {fleet.n_homes} homes but got "
+                f"{len(envelopes)} precomputed envelopes")
+        envelope_map = {home.home_id: envelope
+                        for home, envelope in zip(fleet.homes, envelopes)}
+    else:
+        envelope_map = {
+            home.home_id: phase_envelope(result.load_w, horizon, bin_s)
+            for home, result in zip(fleet.homes, results)}
+    claims, cp_stats, sweeps = negotiate_offsets(home_ids, envelope_map,
                                                  shifts, config)
     planned = tuple(claims[home.home_id] * bin_s
                     for home in fleet.homes)

@@ -36,6 +36,7 @@ from repro.neighborhood.coordination import (
     FeederConfig,
     FeederCoordination,
     coordinate_fleet,
+    snap_bin,
 )
 from repro.neighborhood.fleet import FleetSpec
 from repro.sim.monitor import StepSeries
@@ -233,12 +234,21 @@ def execute_fleet(fleet: FleetSpec, jobs: int = 1,
         raise ValueError(
             f"coordination must be one of: {known}; got {coordination!r}")
     horizon = until if until is not None else fleet.horizon
+    # Coordinating runs ask the shard workers to pre-reduce each home's
+    # phase envelope at the exact (snapped) bin the plane will negotiate
+    # with, so the parent-side cost of coordination stays flat in N.
+    envelope_bin = None
+    if coordination == "feeder":
+        envelope_bin = snap_bin(
+            horizon, (feeder or FeederConfig()).bin_s)
     shards = plan_shards(fleet, until=until, shard_size=shard_size,
-                         jobs=jobs, transport=transport)
+                         jobs=jobs, transport=transport,
+                         envelope_bin_s=envelope_bin)
     partials = None
     home_stats = None
+    envelopes = None
     if shards is not None:
-        results, partials, home_stats = execute_shards(
+        results, partials, home_stats, envelopes = execute_shards(
             shards, jobs=jobs, mp_context=mp_context,
             executor=shard_executor)
     else:
@@ -249,7 +259,7 @@ def execute_fleet(fleet: FleetSpec, jobs: int = 1,
                                  mp_context=mp_context).run(specs)
     if coordination == "feeder":
         plan = coordinate_fleet(fleet, results, horizon, config=feeder,
-                                partials=partials)
+                                partials=partials, envelopes=envelopes)
         return NeighborhoodResult(fleet=fleet, homes=results,
                                   feeder_w=plan.coordinated_w,
                                   horizon=horizon, coordination=plan,

@@ -61,6 +61,11 @@ class ShardSpec:
     #: stats window end — per-home :class:`LoadStats` cover ``[0, horizon)``
     horizon: float
     transport: Optional[str] = None
+    #: when set, the worker also pre-reduces each home's
+    #: :func:`~repro.neighborhood.coordination.phase_envelope` at this
+    #: (already snapped — see ``snap_bin``) bin width, so the parent's
+    #: coordination plane never touches raw per-home series
+    envelope_bin_s: Optional[float] = None
 
 
 @dataclass
@@ -77,6 +82,9 @@ class ShardOutcome:
     frame: Optional[SeriesFrame]
     partial: SeriesPartial
     home_stats: list[LoadStats]
+    #: per-home phase envelopes (shard order) when the spec asked for
+    #: them (:attr:`ShardSpec.envelope_bin_s`), else ``None``
+    envelopes: Optional[list[tuple[float, ...]]] = None
 
 
 def shard_fleet(fleet: FleetSpec, shard_size: int) -> list[FleetSpec]:
@@ -98,6 +106,7 @@ def shard_fleet(fleet: FleetSpec, shard_size: int) -> list[FleetSpec]:
 def plan_shards(fleet: FleetSpec, until: Optional[float] = None,
                 shard_size: Optional[int] = None, jobs: int = 1,
                 transport: Optional[str] = None,
+                envelope_bin_s: Optional[float] = None,
                 ) -> Optional[list[ShardSpec]]:
     """Decide the shard layout for one fleet run (``None`` = don't shard).
 
@@ -107,6 +116,14 @@ def plan_shards(fleet: FleetSpec, until: Optional[float] = None,
     :func:`repro.experiments.pool.dispatch_chunksize`); ``0`` forces the
     per-home path; any other value is used as given.  ``transport``
     overrides the wire format for cross-process shards.
+
+    ``envelope_bin_s`` (a bin width already snapped to the horizon —
+    see :func:`repro.neighborhood.coordination.snap_bin`) asks the shard
+    workers to pre-reduce each home's phase envelope locally, so a
+    coordinating parent aggregates S envelope batches instead of
+    touching N raw series; :func:`phase_envelope
+    <repro.neighborhood.coordination.phase_envelope>` is pure, so the
+    result is bit-identical to computing them parent-side.
     """
     n_homes = fleet.n_homes
     if shard_size is None:
@@ -132,7 +149,8 @@ def plan_shards(fleet: FleetSpec, until: Optional[float] = None,
         from repro.neighborhood.transport import pick_transport
         wire = pick_transport(transport)
     return [ShardSpec(index=index, fleet=sub_fleet, until=until,
-                      horizon=horizon, transport=wire)
+                      horizon=horizon, transport=wire,
+                      envelope_bin_s=envelope_bin_s)
             for index, sub_fleet in enumerate(sub_fleets)]
 
 
@@ -158,17 +176,25 @@ def _execute_shard(spec: ShardSpec) -> tuple:
         partial = partial_sum(series)
         stats = [load_stats(result.load_w, 0.0, spec.horizon)
                  for result in results]
+        envelopes = None
+        if spec.envelope_bin_s is not None:
+            from repro.neighborhood.coordination import phase_envelope
+            envelopes = [phase_envelope(one, spec.horizon,
+                                        spec.envelope_bin_s)
+                         for one in series]
         if spec.transport is None:
             outcome = ShardOutcome(index=spec.index, homes=results,
                                    frame=None, partial=partial,
-                                   home_stats=stats)
+                                   home_stats=stats,
+                                   envelopes=envelopes)
         else:
             frame = pack_series(series, spec.transport)
             stripped = [replace(result, load_w=None)
                         for result in results]
             outcome = ShardOutcome(index=spec.index, homes=stripped,
                                    frame=frame, partial=partial,
-                                   home_stats=stats)
+                                   home_stats=stats,
+                                   envelopes=envelopes)
         return ("ok", spec.fleet.name, outcome)
     except Exception:
         return ("err", spec.fleet.name, traceback.format_exc())
@@ -178,12 +204,15 @@ def execute_shards(shards: Sequence[ShardSpec], jobs: int = 1,
                    mp_context: Optional[str] = None,
                    executor=None,
                    ) -> tuple[list[RunResult], list[SeriesPartial],
-                              list[LoadStats]]:
+                              list[LoadStats],
+                              Optional[list[tuple[float, ...]]]]:
     """Run every shard and fan the pre-reduced pieces back in.
 
-    Returns ``(home_results, shard_partials, home_stats)``, all in fleet
-    order.  Cross-process shards come back as one frame each; the
-    series are re-attached as zero-copy views before return.
+    Returns ``(home_results, shard_partials, home_stats, envelopes)``,
+    all in fleet order; ``envelopes`` is ``None`` unless the shards
+    carried an :attr:`ShardSpec.envelope_bin_s`.  Cross-process shards
+    come back as one frame each; the series are re-attached as
+    zero-copy views before return.
 
     ``executor`` swaps the per-shard worker body (default
     :func:`_execute_shard`): a module-level picklable callable with the
@@ -195,13 +224,14 @@ def execute_shards(shards: Sequence[ShardSpec], jobs: int = 1,
     from repro.experiments.runner import ParallelRunner, WorkerFailure
     shards = list(shards)
     if not shards:
-        return [], [], []
+        return [], [], [], None
     runner = ParallelRunner(jobs=jobs, mp_context=mp_context)
     triples = runner.execute(
         executor if executor is not None else _execute_shard, shards)
     homes: list[RunResult] = []
     partials: list[SeriesPartial] = []
     home_stats: list[LoadStats] = []
+    envelopes: list[tuple[float, ...]] = []
     failure: Optional[tuple[str, str]] = None
     # Adopt every completed shard's frame *before* surfacing a failure:
     # unpack_series unlinks the shared-memory segment, so a failing
@@ -221,6 +251,9 @@ def execute_shards(shards: Sequence[ShardSpec], jobs: int = 1,
         homes.extend(outcome.homes)
         partials.append(outcome.partial)
         home_stats.extend(outcome.home_stats)
+        if outcome.envelopes is not None:
+            envelopes.extend(outcome.envelopes)
     if failure is not None:
         raise WorkerFailure(*failure)
-    return homes, partials, home_stats
+    return homes, partials, home_stats, \
+        envelopes if len(envelopes) == len(homes) and homes else None

@@ -342,16 +342,23 @@ class JobQueue:
         return tally
 
     def journal_events(self) -> list[dict]:
-        """Every parseable journal line, in append order."""
+        """Every parseable journal line, in append order.
+
+        Torn lines are skipped wherever they sit: a crash (or a
+        truncating copy) can shear the *head* of the file as easily as
+        the tail, and a sheared head may not even decode as UTF-8 —
+        so decoding happens per line, and an undecodable or unparseable
+        line anywhere never takes down replay of the rest.
+        """
         events = []
         try:
-            text = self.journal_path.read_text()
+            raw = self.journal_path.read_bytes()
         except OSError:
             return events
-        for line in text.splitlines():
+        for line in raw.splitlines():
             try:
-                entry = json.loads(line)
-            except ValueError:  # pragma: no cover - torn tail line
+                entry = json.loads(line.decode())
+            except (UnicodeDecodeError, ValueError):
                 continue
             if isinstance(entry, dict):
                 events.append(entry)

@@ -135,9 +135,12 @@ def execute_job(spec: ExperimentSpec, cache: Optional[ResultCache] = None,
 
     The worker-side twin of the :func:`repro.api.run.run` cache-miss
     path: validate, stamp provenance, execute.  With a ``cache`` (the
-    store's artifact cache), neighborhood kinds run with the
+    store's artifact cache), neighborhood and grid kinds run with the
     per-shard checkpointing executor (see module docstring) so crashed
-    attempts resume at shard granularity.
+    attempts resume at shard granularity — grid shard indices are
+    globally renumbered across feeders
+    (:func:`repro.neighborhood.grid.execute_grid`), so every shard of
+    every feeder gets its own checkpoint sub-address.
     """
     validate(spec)
     provenance = provenance_of(spec)
@@ -153,6 +156,18 @@ def execute_job(spec: ExperimentSpec, cache: Optional[ResultCache] = None,
             shard_size=shard_size, shard_executor=executor)
         return Result(spec=spec, provenance=provenance,
                       neighborhood=neighborhood)
+    if spec.kind == "grid" and cache is not None:
+        from repro.api.compile import compile_grid
+        from repro.neighborhood.grid import execute_grid
+        executor = functools.partial(
+            _checkpointed_shard, cache=cache,
+            parent=provenance.spec_hash)
+        grid = compile_grid(spec)
+        payload = execute_grid(
+            grid, jobs=jobs, until=spec.until_s, mp_context=mp_context,
+            coordination=spec.grid.coordination, spec=spec,
+            shard_size=shard_size, shard_executor=executor)
+        return Result(spec=spec, provenance=provenance, grid=payload)
     return _execute(spec, provenance, jobs, mp_context, shard_size)
 
 

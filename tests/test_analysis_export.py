@@ -141,7 +141,8 @@ def test_neighborhood_csv_carries_spec_hash_column(tmp_path,
 def test_registry_covers_design_index():
     expected = {"FIG1", "FIG2A", "FIG2B", "FIG2C", "HEADLINE",
                 "ABL-CP-PERIOD", "ABL-LOSS", "ABL-SCALE", "ABL-SLOTS",
-                "ABL-VARIANTS", "ABL-ST-VS-AT", "ABL-SPOF", "NBHD-COORD"}
+                "ABL-VARIANTS", "ABL-ST-VS-AT", "ABL-SPOF", "NBHD-COORD",
+                "GRID-10K"}
     assert set(REGISTRY) == expected
 
 

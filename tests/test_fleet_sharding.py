@@ -306,3 +306,43 @@ def test_dedup_records_rejects_unsorted_streams():
         dedup_records(np.array([1.0, 0.5]), np.array([1.0, 2.0]))
     with pytest.raises(ValueError, match="lexsorted"):
         dedup_records(np.array([1.0, 1.0]), np.array([7.0, 5.0]))
+
+
+# -- the grid layer inherits the whole contract -------------------------------
+
+
+def grid_value_digest(result) -> str:
+    """Value digest over everything a grid consumer can observe."""
+    parts = []
+    for feeder in result.feeders:
+        parts.extend((tuple(home.load_w.times), tuple(home.load_w.values))
+                     for home in feeder.homes)
+        parts.append((tuple(feeder.feeder_w.times),
+                      tuple(feeder.feeder_w.values)))
+        if feeder.coordination is not None:
+            parts.append(feeder.coordination.offsets_s)
+    parts.append((tuple(result.substation_w.times),
+                  tuple(result.substation_w.values)))
+    parts.append((tuple(result.independent_w.times),
+                  tuple(result.independent_w.values)))
+    if result.coordination is not None:
+        parts.append(result.coordination.offsets_s)
+    return hashlib.sha256(repr(parts).encode()).hexdigest()
+
+
+def test_grid_bit_identical_across_jobs_and_shard_sizes(
+        shutdown_pools_after):
+    """jobs {1, 4} x shard sizes {2, auto, per-home}: one digest."""
+    from repro.neighborhood import build_grid, execute_grid
+    grid = build_grid([{"homes": 6}, {"homes": 6, "mix": "mixed"}],
+                      seed=3, cp_fidelity="ideal", horizon=HORIZON)
+    reference = grid_value_digest(
+        execute_grid(grid, jobs=1, coordination="substation",
+                     shard_size=0))
+    for jobs in (1, 4):
+        for shard_size in (2, None, 0):
+            probe = execute_grid(grid, jobs=jobs,
+                                 coordination="substation",
+                                 shard_size=shard_size)
+            assert grid_value_digest(probe) == reference, \
+                (jobs, shard_size)

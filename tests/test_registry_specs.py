@@ -36,6 +36,8 @@ FAST_PARAMS = {
     "ABL-ST-VS-AT": {"seed": 1, "report_minutes": 5.0},
     "ABL-SPOF": {"fail_at": 30 * MINUTE, "seed": 3,
                  "horizon": 90 * MINUTE},
+    "GRID-10K": {"feeders": 2, "homes": 3, "cp_fidelity": "ideal",
+                 "horizon": 30 * MINUTE},
 }
 
 

@@ -376,3 +376,45 @@ def test_concurrent_writers_never_corrupt_index(tmp_path):
     # No abandoned per-pid temp files once everyone is done.
     cache._sweep_stale_tmp(max_age_s=0.0)
     assert list(root.glob("index.json.*.tmp")) == []
+
+
+# -- the digest-keyed object API under corruption -------------------------
+
+DIGEST = "ab" * 32  # any spec-hash-shaped address
+
+
+def test_object_round_trip(cache):
+    payload = {"shard": 3, "values": (1.0, 2.5)}
+    assert cache.put_object(DIGEST, payload, name="t", kind="shard")
+    assert cache.has(DIGEST)
+    assert cache.get_object(DIGEST) == payload
+
+
+def test_corrupted_object_payload_is_a_miss_not_an_error(cache):
+    cache.put_object(DIGEST, {"ok": True}, name="t", kind="shard")
+    [obj] = list(cache.objects_dir.glob("*.pkl"))
+    obj.write_bytes(b"\x80\x04not a pickle at all")
+    assert cache.get_object(DIGEST) is None  # tolerated, not raised
+    assert not obj.exists()  # the corrupt object was dropped
+
+
+def test_corrupted_object_does_not_poison_the_index(cache):
+    cache.put_object(DIGEST, {"ok": True}, name="t", kind="shard")
+    [obj] = list(cache.objects_dir.glob("*.pkl"))
+    obj.write_bytes(obj.read_bytes()[:7])  # truncate mid-pickle
+    assert cache.get_object(DIGEST) is None
+    # The index holds no ghost row for the dropped object...
+    assert all(entry.spec_hash != DIGEST for entry in cache.entries())
+    # ...and the address is immediately reusable: store, hit, intact.
+    assert cache.put_object(DIGEST, {"healed": 1}, name="t", kind="shard")
+    assert cache.get_object(DIGEST) == {"healed": 1}
+
+
+def test_corrupted_object_counts_as_miss_in_stats(cache):
+    cache.put_object(DIGEST, {"ok": True}, name="t", kind="shard")
+    [obj] = list(cache.objects_dir.glob("*.pkl"))
+    obj.write_bytes(b"garbage")
+    cache.get_object(DIGEST)
+    stats = cache.stats()
+    assert stats.misses >= 1
+    assert stats.hits == 0

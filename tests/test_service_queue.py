@@ -190,6 +190,16 @@ def test_journal_survives_torn_tail_line(queue):
     assert events(queue) == ["submit"]  # torn line skipped, not fatal
 
 
+def test_journal_survives_torn_first_line(queue):
+    # A crash can tear the *head* exactly like the tail — e.g. the very
+    # first append cut mid-write, leaving bytes that are not even valid
+    # UTF-8.  Replay must skip it, not crash on decode.
+    queue.journal_path.parent.mkdir(parents=True, exist_ok=True)
+    queue.journal_path.write_bytes(b'{"event": "ha\xff\xfe\n')
+    queue.submit(tiny_spec(), now=0.0)
+    assert events(queue) == ["submit"]
+
+
 def test_records_are_whole_json_files(queue):
     job_id, _ = queue.submit(tiny_spec(), now=0.0)
     queue.lease("alpha", now=0.0)

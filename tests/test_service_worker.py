@@ -18,7 +18,9 @@ from repro.api.run import run
 from repro.api.spec import (
     ControlSpec,
     ExperimentSpec,
+    FeederPlan,
     FleetPlan,
+    GridPlan,
     ScenarioSpec,
     spec_hash,
 )
@@ -54,6 +56,12 @@ def result_digest(result):
         times, values = result.neighborhood.feeder_w._data()
         parts.append(times.tobytes() + values.tobytes())
         parts.append(repr(result.neighborhood.home_stats()).encode())
+    if result.grid is not None:
+        for series in ([feeder.feeder_w for feeder in result.grid.feeders]
+                       + [result.grid.substation_w,
+                          result.grid.independent_w]):
+            times, values = series._data()
+            parts.append(times.tobytes() + values.tobytes())
     return hashlib.sha256(b"".join(parts)).hexdigest()
 
 
@@ -199,3 +207,89 @@ def test_crash_resume_replays_checkpoints_without_executing(
     report = WorkerDaemon(store, shard_size=SHARD).step()
     assert report.state == "done"
     assert result_digest(store.cache().get_object(job_id)) == baseline
+
+
+# -- grid jobs: checkpointing across feeders, executor bit-identity -------
+
+
+def grid_spec(seed=7):
+    return ExperimentSpec(
+        name="svc-grid", kind="grid",
+        scenario=ScenarioSpec(horizon_s=30 * MINUTE),
+        control=ControlSpec(cp_fidelity="ideal"),
+        seeds=(seed,),
+        grid=GridPlan(feeders=(FeederPlan(homes=20),
+                               FeederPlan(homes=20, mix="mixed")),
+                      coordination="substation"))
+
+
+def grid_shard_addresses(spec, shard_size=16):
+    """The checkpoint sub-addresses a grid job uses, in shard order.
+
+    Mirrors :func:`repro.neighborhood.grid.execute_grid`'s global
+    renumbering: shard indices run across feeders, so every shard of
+    every feeder owns a distinct address under one parent hash.
+    """
+    from dataclasses import replace
+
+    from repro.api.compile import compile_grid, shard_sub_hash
+    from repro.neighborhood.shard import plan_shards
+    parent = spec_hash(spec)
+    addresses = []
+    index = 0
+    for fleet in compile_grid(spec).feeders:
+        for shard in plan_shards(fleet, shard_size=shard_size) or []:
+            addresses.append(
+                shard_sub_hash(parent, replace(shard, index=index)))
+            index += 1
+    return addresses
+
+
+def test_grid_job_checkpoints_every_shard_of_every_feeder(store):
+    spec = grid_spec()
+    job_id, _ = store.queue().submit(spec)
+    report = WorkerDaemon(store, shard_size=16).step()
+    assert report.state == "done"
+    cache = store.cache()
+    addresses = grid_shard_addresses(spec)
+    # Two 20-home feeders at shard_size 16: 2 shards each, 4 globally
+    # distinct sub-addresses (no cross-feeder collisions).
+    assert len(addresses) == 4 and len(set(addresses)) == 4
+    for key in addresses:
+        triple = cache.get_object(key)
+        assert triple is not None and triple[0] == "ok"
+    assert result_digest(cache.get_object(job_id)) == \
+        result_digest(run(spec))
+
+
+def test_grid_via_service_executor_is_bit_identical_to_local(store):
+    from repro.service.client import ServiceClient
+    spec = grid_spec()
+    client = ServiceClient(store)
+    client.submit(spec)
+    WorkerDaemon(store, shard_size=16).step()
+    via_service = run(spec, executor=ServiceClient(store))
+    assert result_digest(via_service) == result_digest(run(spec))
+
+
+def test_grid_shard_sub_addresses_stable_across_processes(tmp_path):
+    """A fresh interpreter (different hash seed) derives the exact same
+    checkpoint addresses — they are sha256-based, never ``hash()``."""
+    import os
+    import subprocess
+    import sys
+    import textwrap
+    spec = grid_spec()
+    script = textwrap.dedent("""
+        import sys
+        from tests.test_service_worker import (
+            grid_shard_addresses, grid_spec)
+        print(",".join(grid_shard_addresses(grid_spec())))
+    """)
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = "12345"
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.getcwd(), os.path.join(os.getcwd(), "src")])
+    probe = subprocess.run([sys.executable, "-c", script], env=env,
+                           capture_output=True, text=True, check=True)
+    assert probe.stdout.strip().split(",") == grid_shard_addresses(spec)

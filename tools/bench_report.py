@@ -61,6 +61,7 @@ GROUP_FILES: dict[str, tuple[str, ...]] = {
     "neighborhood": ("benchmarks/test_bench_neighborhood.py",),
     "transport": ("benchmarks/test_bench_transport.py",),
     "fleet": ("benchmarks/test_bench_fleet.py",),
+    "grid": ("benchmarks/test_bench_grid.py",),
     "service": ("benchmarks/test_bench_service.py",),
 }
 

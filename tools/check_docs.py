@@ -54,6 +54,7 @@ API_MODULES = [
     "repro.neighborhood.coordination",
     "repro.neighborhood.federation",
     "repro.neighborhood.fleet",
+    "repro.neighborhood.grid",
     "repro.neighborhood.shard",
     "repro.neighborhood.transport",
     "repro.service.client",
