@@ -29,10 +29,11 @@ from repro.core import (
 from repro.workloads import PAPER_RATES, Scenario, paper_scenario
 
 #: Release version; also the result-cache invalidation key — bumped here
-#: because pickled result layouts changed (Result grew the ``grid``
-#: payload, ShardSpec/ShardOutcome grew envelope fields), so pre-1.4
-#: cache entries must miss.
-__version__ = "1.4.0"
+#: because pickled result layouts changed (NeighborhoodResult's
+#: coordination payload may now be an ``OnlineCoordination`` with
+#: per-epoch outcomes, and ExperimentSpec grew the ``forecast``
+#: section), so pre-1.5 cache entries must miss.
+__version__ = "1.5.0"
 
 __all__ = [
     "HanConfig",

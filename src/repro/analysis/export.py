@@ -223,6 +223,28 @@ def neighborhood_to_json(neighborhood, path: str | Path,
             "diversity_uplift": comparison.diversity_uplift,
             "peak_reduction_pct": comparison.peak_reduction_pct,
         }
+        if getattr(plan, "epochs", None):
+            payload["coordination"]["online"] = {
+                "forecaster": plan.forecaster,
+                "n_epochs": plan.n_epochs,
+                "epochs_applied": plan.epochs_applied,
+                "replanned_homes": plan.replanned_homes,
+                "telemetry_events": plan.telemetry_events,
+                "telemetry_digest": plan.telemetry_digest,
+                "epochs": [
+                    {
+                        "index": outcome.index,
+                        "start_s": outcome.start_s,
+                        "end_s": outcome.end_s,
+                        "applied": outcome.applied,
+                        "changed_homes": outcome.changed_homes,
+                        "cp_rounds": outcome.cp_rounds,
+                        "independent_peak_w": outcome.independent_peak_w,
+                        "coordinated_peak_w": outcome.coordinated_peak_w,
+                    }
+                    for outcome in plan.epochs
+                ],
+            }
     if sample_step is not None:
         grid, values = neighborhood.feeder_w.sample_grid(
             0.0, neighborhood.horizon, sample_step)
@@ -257,6 +279,109 @@ def neighborhood_to_csv(neighborhood, path: str | Path,
         constants = {"spec_hash": spec_hash(spec)}
     return multi_series_to_csv(series_map, path, 0.0,
                                neighborhood.horizon, step,
+                               constants=constants)
+
+
+def grid_to_json(grid_result, path: str | Path,
+                 sample_step: Optional[float] = 60.0,
+                 spec=None) -> Path:
+    """Persist a :class:`~repro.neighborhood.grid.GridResult` as JSON.
+
+    One record per feeder (composition + feeder-level statistics) plus
+    the substation aggregate — the two-tier twin of
+    :func:`neighborhood_to_json`, with the same provenance ``spec``
+    block when the run came through the spec API.
+    """
+    path = Path(path)
+    if spec is None:
+        spec = getattr(grid_result, "spec", None)
+    substation = grid_result.substation_stats()
+    feeders = []
+    for fleet, feeder in zip(grid_result.grid.feeders,
+                             grid_result.feeders):
+        stats = feeder.feeder_stats()
+        feeders.append({
+            "name": fleet.name,
+            "seed": fleet.seed,
+            "n_homes": fleet.n_homes,
+            "total_devices": fleet.total_devices,
+            "stats": stats_to_dict(stats.feeder),
+            "coincident_peak_kw": stats.coincident_peak_kw,
+            "diversity_factor": stats.diversity_factor,
+        })
+    payload = {
+        "grid": {
+            "name": grid_result.grid.name,
+            "seed": grid_result.grid.seed,
+            "n_feeders": grid_result.n_feeders,
+            "n_homes": grid_result.n_homes,
+            "horizon_s": grid_result.horizon,
+            "coordination_mode": grid_result.coordination_mode,
+        },
+        "feeders": feeders,
+        "substation": {
+            "stats": stats_to_dict(substation.feeder),
+            "coincident_peak_kw": substation.coincident_peak_kw,
+            "sum_feeder_peaks_kw": substation.sum_home_peaks_kw,
+            "diversity_factor": substation.diversity_factor,
+            "coincidence_factor": substation.coincidence_factor,
+        },
+    }
+    if spec is not None:
+        payload["spec"] = spec_block(spec)
+    comparison = grid_result.comparison()
+    if comparison is not None:
+        payload["comparison"] = {
+            "independent_coincident_peak_kw":
+                comparison.independent.coincident_peak_kw,
+            "coordinated_coincident_peak_kw":
+                comparison.coordinated.coincident_peak_kw,
+            "diversity_uplift": comparison.diversity_uplift,
+            "peak_reduction_pct": comparison.peak_reduction_pct,
+        }
+    if grid_result.coordination is not None:
+        plan = grid_result.coordination
+        payload["substation_coordination"] = {
+            "applied": plan.applied,
+            "epoch_s": plan.epoch,
+            "bin_s": plan.bin_s,
+            "sweeps": plan.sweeps,
+            "cp_rounds": plan.cp_stats.rounds_total,
+            "offsets_s": list(plan.offsets_s),
+        }
+    if sample_step is not None:
+        grid, values = grid_result.substation_w.sample_grid(
+            0.0, grid_result.horizon, sample_step)
+        payload["substation_trace"] = {
+            "time_s": [float(t) for t in grid],
+            "load_w": [float(v) for v in values],
+        }
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def grid_to_csv(grid_result, path: str | Path, step: float = 60.0,
+                spec=None) -> Path:
+    """Substation plus one column per feeder, sampled on a regular grid.
+
+    Feeder columns are the feeders' *substation contributions*
+    (:attr:`~repro.neighborhood.grid.GridResult.feeder_profiles_w` —
+    phase-rotated under substation coordination), so the substation
+    column is always exactly their sum.  Same trailing ``spec_hash``
+    provenance column as :func:`neighborhood_to_csv`.
+    """
+    if spec is None:
+        spec = getattr(grid_result, "spec", None)
+    series_map = {"substation": grid_result.substation_w}
+    for fleet, series in zip(grid_result.grid.feeders,
+                             grid_result.feeder_profiles_w):
+        series_map[fleet.name] = series
+    constants = None
+    if spec is not None:
+        from repro.api.spec import spec_hash
+        constants = {"spec_hash": spec_hash(spec)}
+    return multi_series_to_csv(series_map, path, 0.0,
+                               grid_result.horizon, step,
                                constants=constants)
 
 

@@ -51,6 +51,7 @@ from repro.api.spec import (
     ControlSpec,
     ExperimentSpec,
     FleetPlan,
+    ForecastPlan,
     ScenarioSpec,
     SweepSpec,
     canonical_json,
@@ -67,6 +68,7 @@ __all__ = [
     "ControlSpec",
     "ExperimentSpec",
     "FleetPlan",
+    "ForecastPlan",
     "KINDS",
     "Provenance",
     "Result",

@@ -52,6 +52,7 @@ ARTEFACTS: dict[str, tuple[str, str]] = {
     "abl-st-vs-at": ("repro.experiments.ablations", "st_vs_at"),
     "abl-spof": ("repro.experiments.ablations", "spof_comparison"),
     "grid-10k": ("repro.experiments.ablations", "grid_uplift"),
+    "nbhd-online": ("repro.experiments.ablations", "online_uplift"),
 }
 
 #: ScenarioSpec field → Scenario field (identical units).

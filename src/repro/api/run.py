@@ -239,7 +239,7 @@ def _execute(spec: ExperimentSpec, provenance: Provenance, jobs: int,
         neighborhood = execute_fleet(
             fleet, jobs=jobs, until=spec.until_s, mp_context=mp_context,
             coordination=spec.fleet.coordination, spec=spec,
-            shard_size=shard_size)
+            shard_size=shard_size, forecast=spec.forecast)
         return Result(spec=spec, provenance=provenance,
                       neighborhood=neighborhood)
     if spec.kind == "grid":

@@ -19,6 +19,7 @@ Layout of the tree::
     ├── control:  ControlSpec    (policy, CP fidelity, radio knobs)
     ├── seeds / until_s
     ├── fleet:    FleetPlan      (neighborhood runs only)
+    ├── forecast: ForecastPlan   (online-coordinated neighborhoods only)
     ├── grid:     GridPlan       (multi-feeder grid runs only)
     │   └── feeders: (FeederPlan, ...)
     ├── sweep:    SweepSpec      (sweep runs only)
@@ -107,6 +108,23 @@ class FleetPlan:
 
 
 @dataclass(frozen=True)
+class ForecastPlan:
+    """Forecast section: per-home prediction for ``online`` coordination.
+
+    Only valid on a ``neighborhood`` spec whose
+    ``fleet.coordination`` is ``"online"`` — on any other shape it is
+    dead configuration and the validator rejects it.  Compiles to
+    :class:`repro.neighborhood.online.ForecastConfig` field for field.
+    """
+
+    forecaster: str = "oracle"
+    noise: float = 0.0
+    noise_seed: int = 1
+    ewma_alpha: float = 0.5
+    season_epochs: int = 1
+
+
+@dataclass(frozen=True)
 class FeederPlan:
     """One feeder of a grid: a fleet build minus the coordination mode.
 
@@ -189,6 +207,7 @@ class ExperimentSpec:
     seeds: tuple[int, ...] = (1,)
     until_s: Optional[float] = None
     fleet: Optional[FleetPlan] = None
+    forecast: Optional[ForecastPlan] = None
     grid: Optional[GridPlan] = None
     sweep: Optional[SweepSpec] = None
     artefact: Optional[ArtefactSpec] = None
@@ -197,8 +216,14 @@ class ExperimentSpec:
     # -- serialization --------------------------------------------------------
 
     def to_dict(self) -> dict:
-        """A JSON-ready dict with every field explicit (tuples → lists)."""
-        return {
+        """A JSON-ready dict with every field explicit (tuples → lists).
+
+        The ``forecast`` key appears only when the section is set: it
+        postdates schema v1, and omitting the default keeps every
+        pre-existing spec's canonical JSON — and hence its content hash
+        and cached results — byte-identical.
+        """
+        out = {
             "schema_version": self.schema_version,
             "name": self.name,
             "kind": self.kind,
@@ -220,6 +245,9 @@ class ExperimentSpec:
                          "params": dict(self.artefact.params)}
             if self.artefact is not None else None,
         }
+        if self.forecast is not None:
+            out["forecast"] = _section_to_dict(self.forecast)
+        return out
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         """Serialize; ``indent=None`` gives the canonical one-line form."""
@@ -242,6 +270,9 @@ class ExperimentSpec:
                                          ControlSpec))
         fleet = FleetPlan(**_coerced(data["fleet"], FleetPlan)) \
             if data.get("fleet") is not None else None
+        forecast = ForecastPlan(**_coerced(data["forecast"],
+                                           ForecastPlan)) \
+            if data.get("forecast") is not None else None
         grid_data = data.get("grid")
         grid = GridPlan(
             feeders=tuple(FeederPlan(**_coerced(feeder, FeederPlan))
@@ -269,7 +300,8 @@ class ExperimentSpec:
                    seeds=tuple(data.get("seeds", (1,))),
                    until_s=float(until_s) if until_s is not None
                    else None,
-                   fleet=fleet, grid=grid, sweep=sweep, artefact=artefact,
+                   fleet=fleet, forecast=forecast, grid=grid, sweep=sweep,
+                   artefact=artefact,
                    schema_version=data.get("schema_version",
                                            SCHEMA_VERSION))
 
@@ -342,6 +374,7 @@ _FLOAT_FIELDS = {
                   "path_loss_exponent", "ci_derating"),
     FleetPlan: ("rate_jitter", "size_jitter"),
     FeederPlan: ("rate_jitter", "size_jitter"),
+    ForecastPlan: ("noise", "ewma_alpha"),
 }
 
 

@@ -170,6 +170,25 @@ def _validate_fleet(data: Mapping[str, Any]) -> None:
     _number(data.get("size_jitter", 0.2), "fleet.size_jitter", minimum=0.0)
 
 
+def _validate_forecast(data: Mapping[str, Any]) -> None:
+    from repro.forecast import FORECASTERS
+    allowed = ("forecaster", "noise", "noise_seed", "ewma_alpha",
+               "season_epochs")
+    _check_keys(data, allowed, "forecast")
+    _choice(data.get("forecaster", "oracle"), "forecast.forecaster",
+            "forecaster", FORECASTERS)
+    _number(data.get("noise", 0.0), "forecast.noise", minimum=0.0)
+    _number(data.get("noise_seed", 1), "forecast.noise_seed", minimum=0,
+            integer=True)
+    alpha = data.get("ewma_alpha", 0.5)
+    _number(alpha, "forecast.ewma_alpha", minimum=0.0)
+    if alpha > 1.0:
+        raise SpecError("forecast.ewma_alpha",
+                        f"must be <= 1, got {alpha!r}")
+    _number(data.get("season_epochs", 1), "forecast.season_epochs",
+            minimum=1, integer=True)
+
+
 def _validate_grid(data: Mapping[str, Any]) -> None:
     from repro.neighborhood.grid import GRID_COORDINATION_MODES
     from repro.workloads.scenarios import FLEET_MIXES
@@ -277,7 +296,8 @@ def validate_data(data: Mapping[str, Any]) -> None:
     if not isinstance(data, Mapping):
         raise SpecError("", f"spec must be an object, got {data!r}")
     allowed = ("schema_version", "name", "kind", "scenario", "control",
-               "seeds", "until_s", "fleet", "grid", "sweep", "artefact")
+               "seeds", "until_s", "fleet", "forecast", "grid", "sweep",
+               "artefact")
     _check_keys(data, allowed, "")
     version = data.get("schema_version", SCHEMA_VERSION)
     if not isinstance(version, int) or isinstance(version, bool):
@@ -321,6 +341,20 @@ def validate_data(data: Mapping[str, Any]) -> None:
             raise SpecError(section_name,
                             f"only valid for kind {_kind_of(section_name)!r}"
                             f", this spec has kind {kind!r}")
+
+    forecast_data = data.get("forecast")
+    if forecast_data is not None:
+        # The forecast section only feeds the online epoch loop; on any
+        # other shape it would be dead configuration perturbing the hash.
+        fleet_data = data.get("fleet") or {}
+        coordination = fleet_data.get("coordination", "independent")
+        if kind != "neighborhood" or coordination != "online":
+            raise SpecError(
+                "forecast",
+                "only valid for kind 'neighborhood' with "
+                f"fleet.coordination 'online'; this spec has kind "
+                f"{kind!r} with coordination {coordination!r}")
+        _validate_forecast(_section(forecast_data, "forecast"))
 
 
 def _kind_of(section_name: str) -> str:

@@ -22,6 +22,7 @@ Usage::
     python -m repro spec dump --all --out specs/
     python -m repro neighborhood --homes 20 --jobs 4 --mix suburb
     python -m repro neighborhood --homes 20 --coordinate   # feeder CP
+    python -m repro neighborhood --coordinate online --forecaster ewma
     python -m repro grid --feeders 4 --homes 25 --jobs 4   # multi-feeder
     python -m repro grid --feeders 4 --coordinate substation
     python -m repro regen FIG2A HEADLINE --jobs 2
@@ -52,6 +53,7 @@ from repro.api.spec import (
     ExperimentSpec,
     FeederPlan,
     FleetPlan,
+    ForecastPlan,
     GridPlan,
     ScenarioSpec,
     spec_from_config,
@@ -146,10 +148,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for the home fan-out")
     p.add_argument("--seed", type=int, default=1)
-    p.add_argument("--coordinate", action="store_true",
+    p.add_argument("--coordinate", nargs="?", const="feeder", default=None,
+                   choices=("feeder", "online"), metavar="MODE",
                    help="run the feeder-level collaboration plane "
                         "(cross-home phase staggering) and report the "
-                        "diversity-factor uplift")
+                        "diversity-factor uplift; bare --coordinate means "
+                        "'feeder' (post-hoc full-horizon negotiation), "
+                        "'online' re-negotiates each CP epoch against "
+                        "forecast envelopes")
+    p.add_argument("--forecaster", choices=("oracle", "persistence",
+                                            "seasonal", "ewma"),
+                   default="oracle",
+                   help="predictor for --coordinate online "
+                        "(default: oracle — the zero-error ceiling)")
+    p.add_argument("--forecast-noise", type=float, default=0.0,
+                   help="multiplicative per-bin noise amplitude on the "
+                        "forecaster (0 = exact predictions)")
+    p.add_argument("--forecast-seed", type=int, default=1,
+                   help="root seed of the forecast noise streams")
     p.add_argument("--shard-size", type=int, default=None,
                    help="homes per execution shard (default: auto — "
                         "large fleets shard, small ones fan out "
@@ -190,6 +206,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fidelity", choices=FIDELITIES, default="round")
     p.add_argument("--horizon-min", type=float, default=None,
                    help="override the 350 min horizon")
+    p.add_argument("--export-json", metavar="PATH", default=None,
+                   help="write the grid result as JSON")
+    p.add_argument("--export-csv", metavar="PATH", default=None,
+                   help="write substation + per-feeder load columns as "
+                        "CSV")
 
     p = sub.add_parser("regen",
                        help="regenerate registry artefacts (parallelisable)")
@@ -481,7 +502,11 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _dispatch_spec(args)
     elif args.command == "neighborhood":
         _check_jobs(args.jobs)
-        coordination = "feeder" if args.coordinate else "independent"
+        coordination = args.coordinate or "independent"
+        forecast = ForecastPlan(forecaster=args.forecaster,
+                                noise=args.forecast_noise,
+                                noise_seed=args.forecast_seed) \
+            if coordination == "online" else None
         spec = ExperimentSpec(
             name=f"cli-neighborhood-{args.mix}-{args.homes}homes",
             kind="neighborhood",
@@ -490,7 +515,8 @@ def _dispatch(args: argparse.Namespace) -> int:
                                 cp_fidelity=args.fidelity),
             seeds=(args.seed,),
             fleet=FleetPlan(homes=args.homes, mix=args.mix,
-                            coordination=coordination))
+                            coordination=coordination),
+            forecast=forecast)
         # Same contract as `repro run --spec`: the provenance spec the
         # exports embed must itself validate, or the artefact's
         # "regenerate me" block would be a lie (SpecError → exit 2).
@@ -501,7 +527,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         fleet = _checked(compile_fleet, spec, builder=build_fleet)
         result = _checked(execute_fleet, fleet, jobs=args.jobs,
                           coordination=coordination, spec=spec,
-                          shard_size=args.shard_size)
+                          shard_size=args.shard_size, forecast=forecast)
         print(result.render())
         if args.export_json:
             from repro.analysis.export import neighborhood_to_json
@@ -535,6 +561,14 @@ def _dispatch(args: argparse.Namespace) -> int:
                           coordination=args.coordinate, spec=spec,
                           shard_size=args.shard_size)
         print(result.render())
+        if args.export_json:
+            from repro.analysis.export import grid_to_json
+            path = grid_to_json(result, args.export_json)
+            print(f"result written to {path}")
+        if args.export_csv:
+            from repro.analysis.export import grid_to_csv
+            path = grid_to_csv(result, args.export_csv)
+            print(f"series written to {path}")
     elif args.command == "regen":
         _check_jobs(args.jobs)
         from repro.api.cache import ResultCache

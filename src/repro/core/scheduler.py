@@ -81,6 +81,7 @@ class SchedulerConfig:
         return self.spec.max_dcp
 
     def make_grid(self) -> DutyCycleGrid:
+        """The slot grid placements snap to in ``grid`` mode."""
         return DutyCycleGrid(self.spec, self.grid_origin)
 
 
@@ -94,24 +95,43 @@ class SchedulerConfig:
 _PLAN_MEMO: dict[tuple, list[AdmissionDecision]] = {}
 _PLAN_MEMO_MAX = 32
 
-#: Incremental planning traces keyed ``(statuses, config, now)`` — the
-#: view-diff companion to the exact memo.  Under lossy CP fidelities,
-#: DIs in one round often agree on every device *status* but disagree on
-#: the pending tail (a fresh announcement rides the very packet some DI
-#: missed), so their admission orders share a prefix.  Planning is a
+#: Incremental planning traces keyed ``(projected intervals, config,
+#: now)`` — the view-diff companion to the exact memo.  Planning reads a
+#: view's statuses through exactly two projections: the claimed-burst
+#: intervals of active devices (:func:`_claimed_intervals`) and one
+#: ``(active, weight)`` snapshot per processed announcement — so the
+#: trace keys on those *contents*, not on exact status equality.  Status
+#: churn that leaves both projections unchanged (version bumps, inactive
+#: devices flipping fields planning never reads, merged duplicates)
+#: lands on the same trace, which is what makes per-epoch online
+#: replanning sub-linear in the unchanged homes.  Orders that share a
+#: prefix of ``(announcement, snapshot)`` pairs replay from the prefix
+#: checkpoint and re-plan only the divergent suffix; planning is a
 #: sequential state evolution whose per-item state (decision list,
-#: projected-interval list) only ever *appends*; a trace checkpoints
-#: those lengths after every admission, and a later planning pass with
-#: the same statuses re-plans only its divergent suffix from the
-#: checkpoint — bit-identical to planning from scratch, by purity.
+#: projected-interval list) only ever *appends* — bit-identical to
+#: planning from scratch, by purity.
 _PLAN_TRACES: dict[tuple, "_PlanTrace"] = {}
 _PLAN_TRACES_MAX = 32
 
+#: observability counters of the trace layer, for tests and the replan
+#: benchmarks: trace ``hits``/``misses`` plus how many admissions were
+#: ``reused`` from a trace prefix vs ``planned`` fresh
+PLAN_TRACE_STATS = {"hits": 0, "misses": 0, "reused": 0, "planned": 0}
+
+
+def reset_plan_caches() -> None:
+    """Drop the planner memo, traces and counters (tests/benchmarks)."""
+    _PLAN_MEMO.clear()
+    _PLAN_TRACES.clear()
+    for key in PLAN_TRACE_STATS:
+        PLAN_TRACE_STATS[key] = 0
+
 
 class _PlanTrace:
-    """Replayable planning state over one ``(statuses, config, now)``."""
+    """Replayable planning state over one ``(intervals, config, now)``."""
 
-    __slots__ = ("pending", "decisions", "intervals", "checkpoints")
+    __slots__ = ("pending", "decisions", "intervals", "checkpoints",
+                 "snapshots")
 
     def __init__(self, intervals: list):
         #: admission order processed so far (announcement values)
@@ -122,6 +142,11 @@ class _PlanTrace:
         #: ``(len(decisions), len(intervals))`` before item 0 and after
         #: every processed item — the suffix-replay entry points
         self.checkpoints: list[tuple[int, int]] = [(0, len(intervals))]
+        #: the ``(active, weight)`` status projection each processed
+        #: announcement was planned under — prefix reuse requires the
+        #: current view to project identically, announcement by
+        #: announcement
+        self.snapshots: list[tuple[bool, float]] = []
 
 
 def _config_key(config: SchedulerConfig) -> tuple:
@@ -154,8 +179,7 @@ def plan_admissions(view: SharedView, config: SchedulerConfig,
     if config.mode == "grid":
         decisions = _plan_grid(view, config, now)
     else:
-        decisions = _plan_stagger(view, config, now, statuses_part,
-                                  config_part)
+        decisions = _plan_stagger(view, config, now, config_part)
     if len(_PLAN_MEMO) >= _PLAN_MEMO_MAX:
         _PLAN_MEMO.clear()
     _PLAN_MEMO[key] = decisions
@@ -282,30 +306,40 @@ def _pick_start(intervals: list[tuple[float, float, float]],
 
 
 def _plan_stagger(view: SharedView, config: SchedulerConfig, now: float,
-                  statuses_part: tuple,
                   config_part: tuple) -> list[AdmissionDecision]:
-    """Stagger-mode planning with view-diff suffix reuse.
+    """Stagger-mode planning with status-diff-aware suffix reuse.
 
-    The trace for ``(statuses, config, now)`` carries the planning state
-    after every already-processed admission; this pass replays the
-    longest prefix of its own admission order that the trace has seen and
-    computes only the divergent suffix.  A pass that extends the trace's
-    order grows the trace in place for the next DI.
+    The trace is keyed on the *projections* of the statuses that
+    planning actually reads — the claimed-interval table plus, per
+    announcement, an ``(active, weight)`` snapshot — so views whose
+    statuses differ in ways planning never observes share one trace
+    (``statuses_part`` is left to the exact-content memo upstream).
+    This pass replays the longest prefix of its own admission order the
+    trace has seen *under identical snapshots* and computes only the
+    divergent suffix.  A pass that extends the trace's order grows the
+    trace in place for the next DI.
     """
     pending = view.pending_ordered()
-    trace_key = (statuses_part, config_part, now)
+    horizon_end = now + 2.0 * config.spec.max_dcp
+    base_intervals = _claimed_intervals(view, config, now, horizon_end)
+    trace_key = (tuple(base_intervals), config_part, now)
     trace = _PLAN_TRACES.get(trace_key)
     if trace is None:
-        horizon_end = now + 2.0 * config.spec.max_dcp
-        trace = _PlanTrace(_claimed_intervals(view, config, now,
-                                              horizon_end))
+        PLAN_TRACE_STATS["misses"] += 1
+        trace = _PlanTrace(base_intervals)
         if len(_PLAN_TRACES) >= _PLAN_TRACES_MAX:
             _PLAN_TRACES.clear()
         _PLAN_TRACES[trace_key] = trace
+    else:
+        PLAN_TRACE_STATS["hits"] += 1
     shared = min(len(trace.pending), len(pending))
     prefix = 0
-    while prefix < shared and trace.pending[prefix] == pending[prefix]:
+    while prefix < shared and trace.pending[prefix] == pending[prefix] \
+            and trace.snapshots[prefix] == _status_snapshot(
+                view, pending[prefix], config):
         prefix += 1
+    PLAN_TRACE_STATS["reused"] += prefix
+    PLAN_TRACE_STATS["planned"] += len(pending) - prefix
     if prefix == len(trace.pending) and prefix < len(pending):
         # The trace's whole order is our prefix: extend it in place.
         planned = {d.device_id: d for d in trace.decisions
@@ -332,13 +366,15 @@ def _stagger_suffix(view: SharedView, config: SchedulerConfig, now: float,
     """Process ``pending[start_index:]`` one by one (the paper's order).
 
     Appends to ``decisions``/``intervals`` in place; when ``trace`` is
-    given, records a checkpoint after every item so later passes can
-    branch anywhere in the order.
+    given, records a checkpoint plus the item's status snapshot after
+    every item so later passes can branch anywhere in the order and
+    verify the prefix was planned under identical status projections.
     """
     spec = config.spec
     for announcement in pending[start_index:]:
-        status = view.status_of(announcement.device_id)
-        if status is not None and status.active:
+        snapshot = _status_snapshot(view, announcement, config)
+        active, weight = snapshot
+        if active:
             decisions.append(AdmissionDecision(
                 request_id=announcement.request_id,
                 device_id=announcement.device_id,
@@ -352,7 +388,6 @@ def _stagger_suffix(view: SharedView, config: SchedulerConfig, now: float,
                 demand_cycles=announcement.demand_cycles))
         else:
             start = _pick_start(intervals, config, now)
-            weight = _weight_of(view, announcement, config)
             for k in range(announcement.demand_cycles):
                 intervals.append((start + k * spec.max_dcp,
                                   start + k * spec.max_dcp + spec.min_dcd,
@@ -367,6 +402,7 @@ def _stagger_suffix(view: SharedView, config: SchedulerConfig, now: float,
             decisions.append(decision)
         if trace is not None:
             trace.checkpoints.append((len(decisions), len(intervals)))
+            trace.snapshots.append(snapshot)
 
 
 # ---------------------------------------------------------------------------
@@ -440,6 +476,21 @@ def _weight_of(view: SharedView, announcement: RequestAnnouncement,
     if status is not None and status.power_w > 0:
         return status.power_w
     return announcement.power_w
+
+
+def _status_snapshot(view: SharedView, announcement: RequestAnnouncement,
+                     config: SchedulerConfig) -> tuple[bool, float]:
+    """Everything stagger planning reads from one announcement's status.
+
+    ``(active, weight)``: whether the device already runs (the request
+    extends demand instead of claiming a start) and the load weight a
+    fresh placement would project.  Trace prefix reuse compares these
+    snapshots instead of whole statuses — the content-true equality the
+    view-diff planner keys on.
+    """
+    status = view.status_of(announcement.device_id)
+    active = status is not None and status.active
+    return (active, _weight_of(view, announcement, config))
 
 
 def decisions_for_device(decisions: list[AdmissionDecision],

@@ -130,6 +130,14 @@ _register(
     ablations.grid_uplift,
     "benchmarks/test_bench_grid.py",
     "grid-10k", "grid-10k")
+_register(
+    "NBHD-ONLINE", "beyond-paper: online per-epoch coordination",
+    "500 homes re-negotiating phase offsets each CP epoch against "
+    "forecast envelopes: oracle recovery of the hindsight ceiling and "
+    "the noise-degradation sweep, profile-digest locked",
+    ablations.online_uplift,
+    "benchmarks/test_bench_online.py",
+    "nbhd-online", "nbhd-online")
 
 
 def get(exp_id: str) -> Experiment:

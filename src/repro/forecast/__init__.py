@@ -1,0 +1,30 @@
+"""Forecast plane: per-home predicted envelopes for online coordination.
+
+Baseline predictors (persistence / seasonal-naive / EWMA), the
+perfect-hindsight oracle, and a seeded noise wrapper — all behind one
+:class:`~repro.forecast.forecasters.Forecaster` protocol emitting the
+phase-envelope shape the feeder claim plane negotiates over.  See
+``docs/online.md`` for where each sits in the online epoch loop.
+"""
+
+from repro.forecast.forecasters import (
+    FORECASTERS,
+    EwmaForecaster,
+    Forecaster,
+    NoisyForecaster,
+    OracleForecaster,
+    PersistenceForecaster,
+    SeasonalNaiveForecaster,
+    make_forecaster,
+)
+
+__all__ = [
+    "FORECASTERS",
+    "EwmaForecaster",
+    "Forecaster",
+    "NoisyForecaster",
+    "OracleForecaster",
+    "PersistenceForecaster",
+    "SeasonalNaiveForecaster",
+    "make_forecaster",
+]

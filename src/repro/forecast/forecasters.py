@@ -1,0 +1,214 @@
+"""Per-home load forecasters emitting phase-envelope predictions.
+
+Every forecaster answers one question, one epoch at a time: *what
+per-bin envelope will this home present over the upcoming window?* —
+in exactly the shape (:func:`repro.neighborhood.coordination
+.phase_envelope_window`) the feeder claim plane negotiates over, so a
+predicted envelope drops into :class:`~repro.neighborhood.coordination
+.FeederPlane` where a realized one used to go.
+
+The baselines follow the standard short-horizon load-forecasting ladder
+(arXiv:1708.04613): **persistence** (next window = last window),
+**seasonal-naive** (next window = same window one season ago) and
+**EWMA** (exponentially weighted fold over all past windows).  The
+**oracle** reads the realized future outright — the zero-error ceiling
+online-vs-post-hoc uplift is measured against — and
+:class:`NoisyForecaster` corrupts any base forecaster with seeded
+multiplicative per-bin noise for the forecast-error sweeps
+(:func:`repro.experiments.ablations.online_uplift`).
+
+Determinism: every forecaster is a pure function of
+``(home_id, history strictly before the window, window)`` — persistence
+and friends draw nothing, and the noise wrapper derives its generator
+from a named stream keyed on ``(home_id, window start)`` — so predicted
+envelopes are bit-identical for any jobs count, shard size, or call
+order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+import numpy as np
+
+from repro.neighborhood.coordination import phase_envelope_window
+from repro.sim.monitor import StepSeries
+from repro.sim.rng import RandomStreams
+
+#: forecaster names the spec/CLI accept, prediction-ladder order
+FORECASTERS = ("oracle", "persistence", "seasonal", "ewma")
+
+#: slack for "is there a full past window" boundary tests, seconds
+_EDGE = 1e-9
+
+
+class Forecaster(Protocol):
+    """The one protocol every per-home envelope forecaster satisfies."""
+
+    def predict(self, home_id: int, history: StepSeries, start: float,
+                end: float, bin_s: float,
+                bins: int) -> tuple[float, ...]:
+        """Predict the home's envelope over ``[start, end)``.
+
+        ``history`` is the home's ingested telemetry strictly before
+        ``start`` (the online loop ingests a window only *after*
+        predicting it); ``bins`` pins the envelope length so every
+        epoch's prediction has the claim plane's expected shape.
+        """
+        ...  # pragma: no cover - protocol signature only
+
+
+class OracleForecaster:
+    """Perfect hindsight: read the realized window out of the future.
+
+    The zero-error ceiling for uplift accounting — an online run with
+    the oracle measures how much of the post-hoc coordinated peak
+    reduction survives the move to per-epoch decisions alone, with no
+    forecast error mixed in.
+    """
+
+    def __init__(self, realized: dict[int, StepSeries]):
+        self._realized = realized
+
+    def predict(self, home_id: int, history: StepSeries, start: float,
+                end: float, bin_s: float,
+                bins: int) -> tuple[float, ...]:
+        """The realized envelope of ``[start, end)`` itself."""
+        return phase_envelope_window(self._realized[home_id], start, end,
+                                     bin_s, bins=bins)
+
+
+class PersistenceForecaster:
+    """Next window looks like the last one (naive persistence)."""
+
+    def predict(self, home_id: int, history: StepSeries, start: float,
+                end: float, bin_s: float,
+                bins: int) -> tuple[float, ...]:
+        """The previous window's realized envelope; zeros before one
+        full window of history exists."""
+        span = end - start
+        if start - span < -_EDGE:
+            return tuple([0.0] * bins)
+        return phase_envelope_window(history, start - span, start, bin_s,
+                                     bins=bins)
+
+
+class SeasonalNaiveForecaster:
+    """Next window looks like the same window one season ago."""
+
+    def __init__(self, season_epochs: int = 1):
+        if season_epochs < 1:
+            raise ValueError(
+                f"season_epochs must be >= 1, got {season_epochs}")
+        self.season_epochs = int(season_epochs)
+
+    def predict(self, home_id: int, history: StepSeries, start: float,
+                end: float, bin_s: float,
+                bins: int) -> tuple[float, ...]:
+        """The envelope one season (``season_epochs`` windows) back,
+        falling back to persistence until a full season has elapsed."""
+        span = end - start
+        season_start = start - self.season_epochs * span
+        if season_start < -_EDGE:
+            return PersistenceForecaster().predict(
+                home_id, history, start, end, bin_s, bins)
+        return phase_envelope_window(history, season_start,
+                                     season_start + span, bin_s,
+                                     bins=bins)
+
+
+class EwmaForecaster:
+    """Exponentially weighted fold over every completed past window."""
+
+    def __init__(self, alpha: float = 0.5):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = float(alpha)
+
+    def predict(self, home_id: int, history: StepSeries, start: float,
+                end: float, bin_s: float,
+                bins: int) -> tuple[float, ...]:
+        """Fold past window envelopes oldest → newest with weight
+        ``alpha`` on each newer window; zeros before any history."""
+        span = end - start
+        n_windows = 0
+        while start - (n_windows + 1) * span >= -_EDGE:
+            n_windows += 1
+        if n_windows == 0:
+            return tuple([0.0] * bins)
+        prediction: Optional[np.ndarray] = None
+        for back in range(n_windows, 0, -1):
+            window_start = start - back * span
+            envelope = np.asarray(phase_envelope_window(
+                history, window_start, window_start + span, bin_s,
+                bins=bins))
+            if prediction is None:
+                prediction = envelope
+            else:
+                prediction = self.alpha * envelope \
+                    + (1.0 - self.alpha) * prediction
+        return tuple(prediction.tolist())
+
+
+class NoisyForecaster:
+    """Seeded multiplicative per-bin noise around any base forecaster.
+
+    Each bin's prediction is scaled by ``max(0, 1 + noise·g)`` with
+    ``g ~ N(0, 1)`` drawn from the named stream
+    ``forecast/home-<id>/t<start>`` — keyed on the home and the window,
+    never on call order, so noisy predictions stay bit-identical across
+    jobs counts and shard sizes (the forecast-error analogue of the
+    simulator's named-stream discipline).
+    """
+
+    def __init__(self, base: Forecaster, noise: float, seed: int = 1):
+        if noise < 0:
+            raise ValueError(f"noise must be >= 0, got {noise}")
+        self.base = base
+        self.noise = float(noise)
+        self._streams = RandomStreams(int(seed))
+
+    def predict(self, home_id: int, history: StepSeries, start: float,
+                end: float, bin_s: float,
+                bins: int) -> tuple[float, ...]:
+        """The base prediction, corrupted bin-wise by seeded noise."""
+        envelope = np.asarray(self.base.predict(
+            home_id, history, start, end, bin_s, bins))
+        if self.noise == 0.0:
+            return tuple(envelope.tolist())
+        rng = self._streams.stream(f"forecast/home-{home_id}/t{start!r}")
+        factors = np.maximum(
+            1.0 + self.noise * rng.standard_normal(bins), 0.0)
+        return tuple((envelope * factors).tolist())
+
+
+def make_forecaster(name: str, realized: Optional[
+                        dict[int, StepSeries]] = None,
+                    noise: float = 0.0, noise_seed: int = 1,
+                    ewma_alpha: float = 0.5,
+                    season_epochs: int = 1) -> Forecaster:
+    """Build a (possibly noise-wrapped) forecaster by spec name.
+
+    ``realized`` is required for (and only read by) the oracle; the
+    remaining knobs map one-to-one onto
+    :class:`repro.api.spec.ForecastPlan` fields.
+    """
+    if name == "oracle":
+        if realized is None:
+            raise ValueError(
+                "the oracle forecaster needs the realized per-home "
+                "series")
+        base: Forecaster = OracleForecaster(realized)
+    elif name == "persistence":
+        base = PersistenceForecaster()
+    elif name == "seasonal":
+        base = SeasonalNaiveForecaster(season_epochs=season_epochs)
+    elif name == "ewma":
+        base = EwmaForecaster(alpha=ewma_alpha)
+    else:
+        known = ", ".join(FORECASTERS)
+        raise ValueError(
+            f"forecaster must be one of: {known}; got {name!r}")
+    if noise > 0.0:
+        return NoisyForecaster(base, noise, seed=noise_seed)
+    return base

@@ -1,6 +1,6 @@
 """Neighborhood layer: many heterogeneous HANs behind one feeder.
 
-Seven modules, one pipeline (see ``docs/architecture.md``):
+Eight modules, one pipeline (see ``docs/architecture.md``):
 
 * :mod:`~repro.neighborhood.fleet` — deterministic heterogeneous fleet
   construction (:func:`build_fleet`);
@@ -16,7 +16,10 @@ Seven modules, one pipeline (see ``docs/architecture.md``):
   feeder statistics (:func:`feeder_stats`);
 * :mod:`~repro.neighborhood.grid` — fleet of fleets: multi-feeder grids
   under one substation with two-tier coordination
-  (:func:`execute_grid`, ``docs/grid.md``).
+  (:func:`execute_grid`, ``docs/grid.md``);
+* :mod:`~repro.neighborhood.online` — per-epoch coordination against
+  predicted envelopes from streaming telemetry
+  (:func:`coordinate_fleet_online`, ``docs/online.md``).
 """
 
 from repro.neighborhood.aggregate import (
@@ -36,7 +39,10 @@ from repro.neighborhood.coordination import (
     coordinate_fleet,
     negotiate_offsets,
     phase_envelope,
+    phase_envelope_window,
+    renegotiate_offsets,
     rotate_series,
+    rotate_window,
     snap_bin,
 )
 from repro.neighborhood.federation import (
@@ -60,6 +66,13 @@ from repro.neighborhood.grid import (
     execute_grid,
     feeder_seed,
 )
+from repro.neighborhood.online import (
+    EpochOutcome,
+    ForecastConfig,
+    OnlineCoordination,
+    coordinate_fleet_online,
+    epoch_grid,
+)
 from repro.neighborhood.shard import (
     ShardSpec,
     plan_shards,
@@ -68,25 +81,30 @@ from repro.neighborhood.shard import (
 
 __all__ = [
     "COORDINATION_MODES",
+    "EpochOutcome",
     "FeederComparison",
     "FeederConfig",
     "FeederCoordination",
     "FeederPlane",
     "FeederStats",
     "FleetSpec",
+    "ForecastConfig",
     "GRID_COORDINATION_MODES",
     "GridResult",
     "GridSpec",
     "HomeItem",
     "HomeSpec",
     "NeighborhoodResult",
+    "OnlineCoordination",
     "SeriesPartial",
     "ShardSpec",
     "build_fleet",
     "build_grid",
     "combine_partials",
     "coordinate_fleet",
+    "coordinate_fleet_online",
     "coordinate_profiles",
+    "epoch_grid",
     "execute_fleet",
     "execute_grid",
     "feeder_seed",
@@ -95,8 +113,11 @@ __all__ = [
     "negotiate_offsets",
     "partial_sum",
     "phase_envelope",
+    "phase_envelope_window",
     "plan_shards",
+    "renegotiate_offsets",
     "rotate_series",
+    "rotate_window",
     "run_neighborhood",
     "shard_fleet",
     "snap_bin",

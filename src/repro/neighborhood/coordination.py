@@ -232,6 +232,98 @@ def phase_envelope(series: StepSeries, horizon: float,
     return tuple(envelope.tolist())
 
 
+def _window_segment_table(series: StepSeries, start: float, end: float,
+                          ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(starts, ends, values)`` arrays partitioning ``[start, end)``.
+
+    The windowed twin of :func:`_segment_table`: same boundaries, same
+    values, no arithmetic on either — the online loop's per-epoch
+    envelopes and rotations must agree with the statistics'
+    decomposition bit for bit.
+    """
+    times, values = series._data()
+    lo = int(np.searchsorted(times, start, side="right"))
+    hi = int(np.searchsorted(times, end, side="left"))
+    starts = np.empty(hi - lo + 1, dtype=float)
+    starts[0] = start
+    starts[1:] = times[lo:hi]
+    ends = np.empty(hi - lo + 1, dtype=float)
+    ends[:-1] = times[lo:hi]
+    ends[-1] = end
+    seg_values = np.empty(hi - lo + 1, dtype=float)
+    seg_values[0] = values[lo - 1] if lo > 0 else 0.0
+    seg_values[1:] = values[lo:hi]
+    return starts, ends, seg_values
+
+
+def phase_envelope_window(series: StepSeries, start: float, end: float,
+                          bin_s: float,
+                          bins: Optional[int] = None,
+                          ) -> tuple[float, ...]:
+    """Per-bin upper bound of ``series`` over the window ``[start, end)``.
+
+    The windowed form of :func:`phase_envelope`: bin ``b`` covers
+    ``[start + b·bin_s, start + (b+1)·bin_s)``.  ``bins`` pins the
+    envelope length explicitly — the online loop passes the per-epoch
+    bin count so every epoch's envelope (including a last epoch whose
+    span differs by one float ulp) has the same shape and the claim
+    plane can roll them against each other.
+    """
+    if bins is None:
+        bins = int(math.ceil((end - start) / bin_s - 1e-9))
+    envelope = np.zeros(bins, dtype=float)
+    starts, ends, values = _window_segment_table(series, start, end)
+    for seg_start, seg_end, value in zip(starts.tolist(), ends.tolist(),
+                                         values.tolist()):
+        if value <= 0.0:
+            continue
+        first = int((seg_start - start) // bin_s)
+        last = min(int(math.ceil((seg_end - start) / bin_s)), bins)
+        if first < last:
+            np.maximum(envelope[first:last], value,
+                       out=envelope[first:last])
+    return tuple(envelope.tolist())
+
+
+def rotate_window(series: StepSeries, offset: float, start: float,
+                  end: float, name: Optional[str] = None) -> StepSeries:
+    """Cyclically delay the ``[start, end)`` window of ``series``.
+
+    The windowed form of :func:`rotate_series`: returns a step series
+    defined on ``[start, end)`` only — beginning with a record exactly
+    at ``start`` — holding ``s(start + ((t − start − offset) mod span))``
+    with ``span = end − start``.  Segment durations and values are
+    permuted, never changed, so the window's energy, time-weighted
+    distribution and peak are preserved exactly; with ``offset == 0``
+    the window's own records come back untouched (no float round-trip),
+    which is what lets declined epochs stitch bit-identical realized
+    windows.
+
+    Caller contract (which epoch grids satisfy by construction): the
+    computed ``span`` must be the *exact* real difference ``end − start``
+    — true whenever ``start == 0`` or ``end ≤ 2·start`` (Sterbenz) — so
+    wrapped record times can never land before ``start``.
+    """
+    from repro.neighborhood.aggregate import dedup_records
+    out_name = name if name is not None else series.name
+    span = end - start
+    offset = offset % span
+    starts, ends, values = _window_segment_table(series, start, end)
+    if offset == 0.0:
+        times, kept = dedup_records(starts, values)
+        return StepSeries.from_arrays(out_name, times, kept)
+    new_starts = starts + offset
+    wrapped = new_starts >= end
+    split = ~wrapped & (ends + offset > end)
+    entry_times = np.concatenate([
+        np.where(wrapped, new_starts - span, new_starts),
+        np.full(int(split.sum()), start, dtype=float)])
+    entry_values = np.concatenate([values, values[split]])
+    order = np.lexsort((entry_values, entry_times))
+    times, kept = dedup_records(entry_times[order], entry_values[order])
+    return StepSeries.from_arrays(out_name, times, kept)
+
+
 def rotate_series(series: StepSeries, offset: float, horizon: float,
                   name: Optional[str] = None) -> StepSeries:
     """Cyclically delay ``series`` by ``offset`` within ``[0, horizon)``.
@@ -297,19 +389,37 @@ class FeederPlane:
 
     def __init__(self, home_ids: Sequence[int],
                  envelopes: dict[int, tuple[float, ...]],
-                 shifts: int):
+                 shifts: int,
+                 claims: Optional[dict[int, int]] = None):
         if shifts < 1:
             raise ValueError(f"need >= 1 candidate shift, got {shifts}")
         self.home_ids = list(home_ids)
         self.shifts = shifts
         self._envelopes = {home: np.asarray(envelopes[home], dtype=float)
                            for home in self.home_ids}
-        self.claims: dict[int, int] = {home: 0 for home in self.home_ids}
+        #: seeded claims carry a previous epoch's negotiation state into
+        #: an online re-negotiation (:func:`renegotiate_offsets`)
+        self.claims: dict[int, int] = (
+            {home: 0 for home in self.home_ids} if claims is None
+            else {home: int(claims[home]) for home in self.home_ids})
         #: each home's envelope rolled by its current claim — what the
         #: other gateways' merged views hold for it
-        self._rolled = {home: np.roll(self._envelopes[home], 0)
+        self._rolled = {home: np.roll(self._envelopes[home],
+                                      self.claims[home])
                         for home in self.home_ids}
         self.sweep_changed = False
+
+    def update_envelope(self, node: int,
+                        envelope: tuple[float, ...]) -> None:
+        """Replace one gateway's published envelope, keeping its claim.
+
+        The online plane's per-epoch re-publication: a home whose
+        predicted envelope changed announces the new one; its claimed
+        shift stands until a later claim round moves it.
+        """
+        self._envelopes[node] = np.asarray(envelope, dtype=float)
+        self._rolled[node] = np.roll(self._envelopes[node],
+                                     self.claims[node])
 
     def item(self, node: int) -> HomeItem:
         """The gateway's current :class:`HomeItem` (the wire form)."""
@@ -320,7 +430,10 @@ class FeederPlane:
 
     def run_round(self, round_index: int) -> None:
         """One feeder round: the round-robin token holder re-claims."""
-        token = self.home_ids[round_index % len(self.home_ids)]
+        self.reclaim(self.home_ids[round_index % len(self.home_ids)])
+
+    def reclaim(self, token: int) -> None:
+        """Give ``token`` the claim round: re-pick its phase offset."""
         best = self._best_shift(token)
         if best != self.claims[token]:
             self.claims[token] = best
@@ -388,6 +501,46 @@ def negotiate_offsets(home_ids: Sequence[int],
             stats.deliveries += n * n
             plane.run_round(round_index)
             round_index += 1
+        sweeps += 1
+        if not plane.sweep_changed:
+            break
+    return dict(plane.claims), stats, sweeps
+
+
+def renegotiate_offsets(plane: FeederPlane, changed: Sequence[int],
+                        config: FeederConfig,
+                        ) -> tuple[dict[int, int], CpStats, int]:
+    """Incrementally re-run claim rounds after an envelope diff.
+
+    The online plane's per-epoch re-negotiation: ``plane`` carries every
+    gateway's current claims and (already re-published) envelopes from
+    the previous epoch, and only the homes in ``changed`` — those whose
+    predicted envelope actually moved — get claim tokens.  Unchanged
+    homes keep claims that are still optimal against their unchanged
+    envelopes, so the per-sweep work is O(|changed|·n·bins) rather than
+    the from-scratch O(n²·bins) of :func:`negotiate_offsets`, and with
+    nothing changed no round runs at all — the sub-linear replan cost
+    ``benchmarks/test_bench_online.py`` measures.
+
+    CP accounting matches the incremental wire traffic: each round
+    delivers *one* updated :class:`HomeItem` to the n gateways (``n``
+    deliveries), not the all-to-all re-share of a cold negotiation.
+    Returns ``(claims, stats, sweeps)`` like :func:`negotiate_offsets`.
+    """
+    n = len(plane.home_ids)
+    stats = CpStats()
+    changed_set = set(changed)
+    order = [home for home in plane.home_ids if home in changed_set]
+    sweeps = 0
+    if not order:
+        return dict(plane.claims), stats, sweeps
+    for _sweep in range(config.max_sweeps):
+        plane.sweep_changed = False
+        for token in order:
+            stats.rounds_total += 1
+            stats.rounds_active += 1
+            stats.deliveries += n
+            plane.reclaim(token)
         sweeps += 1
         if not plane.sweep_changed:
             break

@@ -42,9 +42,11 @@ from repro.neighborhood.fleet import FleetSpec
 from repro.sim.monitor import StepSeries
 
 #: How homes behind the feeder relate: ``"independent"`` (the paper's
-#: scheme stops at the meter) or ``"feeder"`` (cross-home staggering via
-#: :mod:`repro.neighborhood.coordination`).
-COORDINATION_MODES = ("independent", "feeder")
+#: scheme stops at the meter), ``"feeder"`` (post-hoc cross-home
+#: staggering via :mod:`repro.neighborhood.coordination`), or
+#: ``"online"`` (per-epoch re-negotiation against predicted envelopes
+#: via :mod:`repro.neighborhood.online`).
+COORDINATION_MODES = ("independent", "feeder", "online")
 
 
 @dataclass
@@ -177,13 +179,21 @@ class NeighborhoodResult:
             comparison = self.comparison()
             status = "applied" if plan.applied else \
                 "declined (no realized improvement)"
+            epochs = getattr(plan, "epochs", None)
+            if epochs:
+                title = (f"Online coordination ({status}; "
+                         f"{plan.forecaster} forecast, "
+                         f"{plan.epochs_applied}/{plan.n_epochs} epochs "
+                         f"applied, {plan.cp_stats.rounds_total} CP "
+                         f"rounds, {plan.replanned_homes} replans)")
+            else:
+                title = (f"Feeder coordination ({status}; "
+                         f"epoch {plan.epoch / 60.0:.0f} min, "
+                         f"{plan.cp_stats.rounds_total} CP rounds, "
+                         f"{plan.sweeps} sweeps)")
             comparison_table = format_table(
                 ["feeder metric", "independent", "coordinated"],
-                comparison.rows(),
-                title=f"Feeder coordination ({status}; "
-                      f"epoch {plan.epoch / 60.0:.0f} min, "
-                      f"{plan.cp_stats.rounds_total} CP rounds, "
-                      f"{plan.sweeps} sweeps)")
+                comparison.rows(), title=title)
             parts.append(comparison_table)
         return "\n\n".join(parts)
 
@@ -196,7 +206,8 @@ def execute_fleet(fleet: FleetSpec, jobs: int = 1,
                   spec: Optional[object] = None,
                   shard_size: Optional[int] = None,
                   transport: Optional[str] = None,
-                  shard_executor=None) -> NeighborhoodResult:
+                  shard_executor=None,
+                  forecast: Optional[object] = None) -> NeighborhoodResult:
     """Run every home of ``fleet`` (over ``jobs`` workers) and aggregate.
 
     This is the neighborhood execution primitive the spec API bottoms
@@ -215,7 +226,11 @@ def execute_fleet(fleet: FleetSpec, jobs: int = 1,
     through :func:`~repro.neighborhood.coordination.coordinate_fleet`
     (optionally tuned by a
     :class:`~repro.neighborhood.coordination.FeederConfig`) and sums the
-    re-phased homes instead.
+    re-phased homes instead; ``"online"`` re-negotiates every CP epoch
+    against predicted envelopes
+    (:func:`~repro.neighborhood.online.coordinate_fleet_online`), with
+    ``forecast`` — a :class:`~repro.neighborhood.online.ForecastConfig`
+    or any object carrying its fields — selecting the forecaster.
 
     ``shard_size`` / ``transport`` tune the fleet-scale execution
     strategy (see :mod:`repro.neighborhood.shard`): large fleets are
@@ -260,6 +275,26 @@ def execute_fleet(fleet: FleetSpec, jobs: int = 1,
     if coordination == "feeder":
         plan = coordinate_fleet(fleet, results, horizon, config=feeder,
                                 partials=partials, envelopes=envelopes)
+        return NeighborhoodResult(fleet=fleet, homes=results,
+                                  feeder_w=plan.coordinated_w,
+                                  horizon=horizon, coordination=plan,
+                                  spec=spec,
+                                  precomputed_home_stats=home_stats)
+    if coordination == "online":
+        from repro.neighborhood.online import (
+            ForecastConfig,
+            coordinate_fleet_online,
+        )
+        if forecast is not None and not isinstance(forecast,
+                                                   ForecastConfig):
+            forecast = ForecastConfig(
+                forecaster=forecast.forecaster, noise=forecast.noise,
+                noise_seed=forecast.noise_seed,
+                ewma_alpha=forecast.ewma_alpha,
+                season_epochs=forecast.season_epochs)
+        plan = coordinate_fleet_online(fleet, results, horizon,
+                                       config=feeder, forecast=forecast,
+                                       partials=partials)
         return NeighborhoodResult(fleet=fleet, homes=results,
                                   feeder_w=plan.coordinated_w,
                                   horizon=horizon, coordination=plan,

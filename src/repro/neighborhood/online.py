@@ -1,0 +1,306 @@
+"""Online per-epoch coordination against predicted envelopes.
+
+The batch feeder plane (:func:`~repro.neighborhood.coordination
+.coordinate_fleet`) negotiates once, *post hoc*, over realized
+profiles.  This module is the production shape of the same plane
+(ROADMAP open item 2, after arXiv:2304.11770's epoch-replanning online
+HEMS): the horizon is tiled into CP epochs, and at each epoch start the
+gateways re-negotiate phase offsets against **predicted** envelopes
+from a :mod:`repro.forecast` forecaster fed by the
+:mod:`repro.telemetry` stream of everything realized so far.
+
+The epoch loop (:func:`coordinate_fleet_online`), per epoch:
+
+1. **predict** — every home's forecaster emits its envelope for the
+   upcoming window from telemetry strictly *before* the window (the
+   oracle alone may peek, by design — it is the zero-error ceiling);
+2. **diff + renegotiate** — homes whose predicted envelope moved
+   re-publish (:meth:`~repro.neighborhood.coordination.FeederPlane
+   .update_envelope`) and only they take claim tokens
+   (:func:`~repro.neighborhood.coordination.renegotiate_offsets`),
+   seeded with the previous epoch's claims — incremental, not
+   from-scratch; the first epoch is a cold full negotiation;
+3. **apply + guard** — offsets rotate each home's *realized* window
+   (:func:`~repro.neighborhood.coordination.rotate_window`, energy- and
+   per-home-peak-conserving); the realized-improvement guard re-checks
+   each epoch independently and declines to zero offsets any epoch
+   whose rotated sum does not strictly beat the independent profile —
+   so online coordination never raises any epoch's peak;
+4. **ingest** — the realized window streams into telemetry
+   (journalled in a replayable
+   :class:`~repro.telemetry.log.TelemetryLog`), becoming history for
+   the next epoch's predictions.
+
+Determinism: the loop consumes only the bit-deterministic per-home
+results in fleet order, forecasters are pure (noise comes from named
+streams keyed on home and window), and stitching uses the scalar-
+equivalent :meth:`~repro.sim.monitor.StepSeries.append` — so online
+runs are bit-identical across jobs counts and shard sizes, locked by
+``tests/test_online_coordination.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.core.system import RunResult
+from repro.neighborhood.aggregate import combine_partials, sum_series
+from repro.neighborhood.coordination import (
+    FeederConfig,
+    FeederCoordination,
+    FeederPlane,
+    negotiate_offsets,
+    renegotiate_offsets,
+    rotate_window,
+    snap_bin,
+)
+from repro.sim.monitor import StepSeries
+from repro.st.rounds import CpStats
+from repro.telemetry import TelemetryIngest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.neighborhood.fleet import FleetSpec
+
+
+@dataclass(frozen=True)
+class ForecastConfig:
+    """Forecaster selection + knobs for an online coordination run.
+
+    The neighborhood-layer twin of :class:`repro.api.spec.ForecastPlan`
+    (the spec API converts one to the other), defaulting to the oracle
+    with no noise — the uplift-ceiling configuration.
+    """
+
+    #: one of :data:`repro.forecast.FORECASTERS`
+    forecaster: str = "oracle"
+    #: multiplicative per-bin noise amplitude (0 = exact predictions)
+    noise: float = 0.0
+    #: root seed of the noise streams (named per home and window)
+    noise_seed: int = 1
+    #: EWMA weight for the ``"ewma"`` forecaster
+    ewma_alpha: float = 0.5
+    #: season length, in epochs, for the ``"seasonal"`` forecaster
+    season_epochs: int = 1
+
+
+@dataclass(frozen=True)
+class EpochOutcome:
+    """What one CP epoch of an online run decided and realized."""
+
+    #: epoch index, 0-based
+    index: int
+    #: epoch window ``[start_s, end_s)`` in seconds
+    start_s: float
+    end_s: float
+    #: False when the per-epoch guard declined (offsets forced to zero)
+    applied: bool
+    #: offsets actually applied this epoch (seconds, fleet order)
+    offsets_s: tuple[float, ...]
+    #: homes whose predicted envelope moved (= claim tokens granted)
+    changed_homes: int
+    #: CP rounds this epoch's (re-)negotiation ran
+    cp_rounds: int
+    #: peak of the independent profile inside the window, watts
+    independent_peak_w: float
+    #: realized peak of the (possibly rotated) window as applied, watts
+    coordinated_peak_w: float
+
+
+@dataclass
+class OnlineCoordination(FeederCoordination):
+    """Outcome of an online run: the feeder record plus per-epoch detail.
+
+    Subclasses :class:`~repro.neighborhood.coordination
+    .FeederCoordination` so every batch consumer — result rendering,
+    exporters, comparison stats — reads an online plan unchanged.  The
+    inherited ``epoch`` is the epoch *length*; ``planned_offsets_s`` /
+    ``offsets_s`` are the final epoch's plan (per-epoch offsets live in
+    :attr:`epochs`); ``applied`` is True when any epoch applied.
+    """
+
+    #: per-epoch records, epoch order
+    epochs: tuple[EpochOutcome, ...] = ()
+    #: forecaster name the run predicted with
+    forecaster: str = "oracle"
+    #: total claim tokens granted across all re-negotiations
+    replanned_homes: int = 0
+    #: digest of the full telemetry journal (replay fingerprint)
+    telemetry_digest: str = ""
+    #: number of samples journalled across the run
+    telemetry_events: int = 0
+
+    @property
+    def n_epochs(self) -> int:
+        """How many CP epochs tiled the horizon."""
+        return len(self.epochs)
+
+    @property
+    def epochs_applied(self) -> int:
+        """How many epochs survived the per-epoch realized guard."""
+        return sum(1 for outcome in self.epochs if outcome.applied)
+
+
+def epoch_grid(horizon: float, epoch_s: float) -> list[tuple[float, float]]:
+    """The epoch windows tiling ``[0, horizon)``, in order.
+
+    Window ``k`` is ``[k·epoch_s, (k+1)·epoch_s)`` with the last end
+    pinned to ``horizon`` exactly.  Every window satisfies
+    :func:`~repro.neighborhood.coordination.rotate_window`'s exact-span
+    contract (``start == 0`` or ``end ≤ 2·start``).
+    """
+    n_epochs = max(int(round(horizon / epoch_s)), 1)
+    step = horizon / n_epochs
+    return [(k * step, horizon if k == n_epochs - 1 else (k + 1) * step)
+            for k in range(n_epochs)]
+
+
+def coordinate_fleet_online(fleet: "FleetSpec",
+                            results: Sequence[RunResult],
+                            horizon: float,
+                            config: Optional[FeederConfig] = None,
+                            forecast: Optional[ForecastConfig] = None,
+                            partials: Optional[Sequence[object]] = None,
+                            replan: str = "diff",
+                            ) -> OnlineCoordination:
+    """Run the online epoch loop over a finished fleet run.
+
+    Like :func:`~repro.neighborhood.coordination.coordinate_fleet` this
+    is pure post-exchange — the per-home simulations already ran; what
+    is *online* is the information structure: every epoch's offsets are
+    chosen from predictions computed before that epoch's telemetry
+    exists, then applied to the realized windows under the per-epoch
+    guard.  The epoch length is the feeder phase period
+    (:attr:`~repro.neighborhood.coordination.FeederConfig.epoch`,
+    defaulting to the fleet's largest ``maxDCP``), snapped to tile the
+    horizon; envelope bins snap to tile the epoch.
+
+    ``replan`` picks the epoch 2+ negotiation path: ``"diff"`` (the
+    production default) re-publishes only homes whose predicted
+    envelope moved and renegotiates incrementally from the previous
+    epoch's claims; ``"cold"`` re-runs the full n² negotiation from
+    scratch every epoch.  The two paths may settle on different (both
+    guard-checked) claims; NBHD-ONLINE uses an oracle ``"cold"`` run
+    as the hindsight ceiling the incremental loop is measured against.
+    """
+    if config is None:
+        config = FeederConfig()
+    if forecast is None:
+        forecast = ForecastConfig()
+    if replan not in ("diff", "cold"):
+        raise ValueError(
+            f"replan must be 'diff' or 'cold', got {replan!r}")
+    if len(results) != fleet.n_homes:
+        raise ValueError(
+            f"fleet has {fleet.n_homes} homes but got {len(results)} "
+            f"results")
+    phase = config.epoch if config.epoch is not None \
+        else max(home.scenario.max_dcp for home in fleet.homes)
+    phase = min(phase, horizon)
+    windows = epoch_grid(horizon, phase)
+    epoch_s = horizon / len(windows)
+    bin_s = snap_bin(epoch_s, config.bin_s)
+    bins = max(int(round(epoch_s / bin_s)), 1)
+    shifts = bins
+
+    home_ids = [home.home_id for home in fleet.homes]
+    realized = {home.home_id: result.load_w
+                for home, result in zip(fleet.homes, results)}
+    if partials is not None:
+        independent = combine_partials(partials,
+                                       [r.load_w for r in results])
+    else:
+        independent = sum_series([r.load_w for r in results])
+    # Imported here, not at module top: repro.forecast itself imports
+    # the coordination module (for envelope shapes), and this package's
+    # __init__ pulls us in — a top-level import would cycle whenever
+    # repro.forecast is imported first.
+    from repro.forecast import make_forecaster
+    forecaster = make_forecaster(
+        forecast.forecaster, realized=realized, noise=forecast.noise,
+        noise_seed=forecast.noise_seed, ewma_alpha=forecast.ewma_alpha,
+        season_epochs=forecast.season_epochs)
+    telemetry = TelemetryIngest(window_s=epoch_s,
+                                ewma_alpha=forecast.ewma_alpha)
+
+    contributions = [StepSeries(result.load_w.name)
+                     for result in results]
+    plane: Optional[FeederPlane] = None
+    previous: dict[int, tuple[float, ...]] = {}
+    outcomes: list[EpochOutcome] = []
+    totals = CpStats()
+    total_sweeps = 0
+    replanned = 0
+    last_planned: tuple[float, ...] = tuple(0.0 for _ in home_ids)
+    last_applied_offsets: tuple[float, ...] = last_planned
+
+    for index, (start, end) in enumerate(windows):
+        predictions = {
+            home_id: forecaster.predict(
+                home_id, telemetry.series(home_id), start, end, bin_s,
+                bins)
+            for home_id in home_ids}
+        if plane is None or replan == "cold":
+            changed = list(home_ids)
+            claims, stats, sweeps = negotiate_offsets(
+                home_ids, predictions, shifts, config)
+            plane = FeederPlane(home_ids, predictions, shifts,
+                                claims=claims)
+        else:
+            changed = [home_id for home_id in home_ids
+                       if predictions[home_id] != previous[home_id]]
+            for home_id in changed:
+                plane.update_envelope(home_id, predictions[home_id])
+            claims, stats, sweeps = renegotiate_offsets(plane, changed,
+                                                        config)
+        totals.rounds_total += stats.rounds_total
+        totals.rounds_active += stats.rounds_active
+        totals.deliveries += stats.deliveries
+        totals.misses += stats.misses
+        totals.duration_on_air += stats.duration_on_air
+        total_sweeps += sweeps
+        replanned += len(changed)
+
+        planned = tuple(claims[home_id] * bin_s for home_id in home_ids)
+        rotated = [rotate_window(realized[home_id], offset, start, end)
+                   for home_id, offset in zip(home_ids, planned)]
+        independent_peak = independent.maximum(start, end)
+        coordinated_peak = sum_series(rotated).maximum(start, end)
+        applied = any(offset != 0.0 for offset in planned)
+        if applied and config.guard \
+                and coordinated_peak >= independent_peak - 1e-9:
+            applied = False
+        if not applied:
+            rotated = [rotate_window(realized[home_id], 0.0, start, end)
+                       for home_id in home_ids]
+            coordinated_peak = independent_peak
+        offsets = planned if applied else tuple(0.0 for _ in planned)
+        for series, window in zip(contributions, rotated):
+            series.append(window.times, window.values)
+        for home_id in home_ids:
+            window = realized[home_id].window(start, end)
+            telemetry.ingest(home_id, window.times, window.values)
+        outcomes.append(EpochOutcome(
+            index=index, start_s=start, end_s=end, applied=applied,
+            offsets_s=offsets, changed_homes=len(changed),
+            cp_rounds=stats.rounds_total,
+            independent_peak_w=independent_peak,
+            coordinated_peak_w=coordinated_peak))
+        previous = predictions
+        last_planned = planned
+        last_applied_offsets = offsets
+
+    applied_any = any(outcome.applied for outcome in outcomes)
+    coordinated = sum_series(contributions) if applied_any \
+        else independent
+    return OnlineCoordination(
+        epoch=epoch_s, bin_s=bin_s,
+        planned_offsets_s=last_planned,
+        offsets_s=last_applied_offsets,
+        applied=applied_any, sweeps=total_sweeps, cp_stats=totals,
+        contributions_w=contributions, independent_w=independent,
+        coordinated_w=coordinated,
+        epochs=tuple(outcomes), forecaster=forecast.forecaster,
+        replanned_homes=replanned,
+        telemetry_digest=telemetry.log.digest(),
+        telemetry_events=len(telemetry.log))

@@ -78,14 +78,26 @@ class ServiceClient:
         The id is the spec's content hash, so re-submitting — from this
         client or any other — always yields the same id.  A warm spec
         (artifact already stored) is *not* queued: the id answers
-        :meth:`result` immediately from the store.  Invalid specs are
-        rejected here, before anything is enqueued.
+        :meth:`result` immediately from the store.  A *cold* spec whose
+        job record is nonetheless ``done`` — the artifact was evicted,
+        or belongs to an older code version — is requeued for a fresh
+        execution.  Invalid specs are rejected here, before anything is
+        enqueued.
         """
         validate(spec)
         job_id = spec_hash(spec)
         if self.cache.has(job_id):
             return job_id
-        self.queue.submit(spec)
+        _, created = self.queue.submit(spec)
+        if not created:
+            record = self.queue.job(job_id)
+            if record is not None and record.state == "done":
+                # The record says done but the artifact is gone — LRU
+                # eviction, or it was published under an older code
+                # version.  Nothing will ever publish one for this
+                # release, so blocking on result() would hang forever;
+                # send the job through a worker again.
+                self.queue.requeue(job_id)
         return job_id
 
     def status(self, job_id: str) -> JobStatus:

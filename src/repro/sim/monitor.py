@@ -67,6 +67,49 @@ class StepSeries:
         self._arrays = None
         self._views = None
 
+    def append(self, times: Iterable[float],
+               values: Iterable[float]) -> None:
+        """Bulk-record a batch of ``(time, value)`` pairs.
+
+        The streaming-ingestion primitive (:mod:`repro.telemetry`): the
+        whole batch lands in one vectorized pass when it is strictly
+        time-increasing and strictly later than the last record, falling
+        back to a scalar :meth:`record` loop otherwise — so semantics
+        (monotonicity errors, same-instant overwrite, no-change skip)
+        are *exactly* those of calling :meth:`record` per pair.
+
+        Both cached array forms are invalidated on every mutation, so a
+        ``times``/``values`` view or ``_data()`` pair fetched before the
+        append is never returned stale afterwards (locked by
+        ``tests/test_telemetry.py``).
+        """
+        batch_times = np.asarray(times, dtype=float)
+        batch_values = np.asarray(values, dtype=float)
+        if batch_times.shape != batch_values.shape \
+                or batch_times.ndim != 1:
+            raise ValueError("append needs equal-length 1-D batches; got "
+                             f"shapes {batch_times.shape} and "
+                             f"{batch_values.shape}")
+        if batch_times.size == 0:
+            return
+        fast = bool(np.all(np.diff(batch_times) > 0)) and (
+            not self._times or batch_times[0] > self._times[-1])
+        if fast:
+            previous = np.empty_like(batch_values)
+            # NaN compares unequal to everything, so on an empty series
+            # the first batch entry is always kept — same as record().
+            previous[0] = self._values[-1] if self._values else np.nan
+            previous[1:] = batch_values[:-1]
+            keep = batch_values != previous
+            self._times.extend(batch_times[keep].tolist())
+            self._values.extend(batch_values[keep].tolist())
+            self._arrays = None
+            self._views = None
+            return
+        for time, value in zip(batch_times.tolist(),
+                               batch_values.tolist()):
+            self.record(time, value)
+
     @classmethod
     def from_arrays(cls, name: str, times: np.ndarray,
                     values: np.ndarray,

@@ -142,7 +142,7 @@ def test_registry_covers_design_index():
     expected = {"FIG1", "FIG2A", "FIG2B", "FIG2C", "HEADLINE",
                 "ABL-CP-PERIOD", "ABL-LOSS", "ABL-SCALE", "ABL-SLOTS",
                 "ABL-VARIANTS", "ABL-ST-VS-AT", "ABL-SPOF", "NBHD-COORD",
-                "GRID-10K"}
+                "GRID-10K", "NBHD-ONLINE"}
     assert set(REGISTRY) == expected
 
 

@@ -241,3 +241,87 @@ def test_with_artefact_params_merges():
     merged = spec.with_artefact_params(horizon=60.0)
     assert merged.artefact.params == {"seed": 2, "horizon": 60.0}
     assert spec.artefact.params == {"seed": 2}
+
+
+# -- PR 8: the forecast section ---------------------------------------------
+
+
+def online_spec(**forecast_overrides):
+    from repro.api import ForecastPlan
+    return ExperimentSpec(
+        name="online", kind="neighborhood",
+        fleet=FleetPlan(homes=4, coordination="online"),
+        forecast=ForecastPlan(**forecast_overrides))
+
+
+def test_forecast_round_trip_lossless():
+    spec = online_spec(forecaster="ewma", noise=0.25, noise_seed=7,
+                       ewma_alpha=0.3, season_epochs=2)
+    loaded = ExperimentSpec.from_json(spec.to_json())
+    assert loaded == spec
+    assert loaded.forecast.noise == 0.25
+    assert spec_hash(loaded) == spec_hash(spec)
+    validate(spec)  # hand-built tree passes the same checks as JSON
+
+
+def test_forecast_absent_keeps_pre_online_hashes():
+    """Specs without a forecast section serialize exactly as before
+    the section existed — no key, same canonical bytes, same hash."""
+    spec = ExperimentSpec(name="nbhd", kind="neighborhood",
+                          fleet=FleetPlan(homes=3))
+    assert "forecast" not in json.loads(canonical_json(spec))
+    assert spec.forecast is None
+    assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+
+def test_forecast_numeric_types_hash_stably():
+    ints = ExperimentSpec.from_json(
+        '{"name": "x", "kind": "neighborhood", '
+        '"fleet": {"homes": 2, "coordination": "online"}, '
+        '"forecast": {"noise": 0, "ewma_alpha": 1}}')
+    floats = ExperimentSpec.from_json(
+        '{"name": "x", "kind": "neighborhood", '
+        '"fleet": {"homes": 2, "coordination": "online"}, '
+        '"forecast": {"noise": 0.0, "ewma_alpha": 1.0}}')
+    assert ints == floats
+    assert spec_hash(ints) == spec_hash(floats)
+    assert isinstance(ints.forecast.noise, float)
+
+
+@pytest.mark.parametrize("document,path_fragment", [
+    ('{"name": "x", "kind": "neighborhood", '
+     '"fleet": {"homes": 2, "coordination": "online"}, '
+     '"forecast": {"forecaster": "orcale"}}', "forecast.forecaster"),
+    ('{"name": "x", "kind": "neighborhood", '
+     '"fleet": {"homes": 2, "coordination": "online"}, '
+     '"forecast": {"noise": -0.1}}', "forecast.noise"),
+    ('{"name": "x", "kind": "neighborhood", '
+     '"fleet": {"homes": 2, "coordination": "online"}, '
+     '"forecast": {"ewma_alpha": 1.5}}', "forecast.ewma_alpha"),
+    ('{"name": "x", "kind": "neighborhood", '
+     '"fleet": {"homes": 2, "coordination": "online"}, '
+     '"forecast": {"season_epochs": 0}}', "forecast.season_epochs"),
+    ('{"name": "x", "kind": "neighborhood", '
+     '"fleet": {"homes": 2, "coordination": "online"}, '
+     '"forecast": {"horizon": 3}}', "forecast"),
+    # Dead configuration: forecast on anything but an online
+    # neighborhood spec is rejected, never silently hashed.
+    ('{"name": "x", "kind": "neighborhood", "fleet": {"homes": 2}, '
+     '"forecast": {}}', "forecast"),
+    ('{"name": "x", "forecast": {"forecaster": "oracle"}}', "forecast"),
+    ('{"name": "x", "kind": "neighborhood", '
+     '"fleet": {"homes": 2, "coordination": "feeder"}, '
+     '"forecast": {}}', "forecast"),
+])
+def test_forecast_validation_error_paths(document, path_fragment):
+    with pytest.raises(SpecError) as caught:
+        ExperimentSpec.from_json(document)
+    assert str(caught.value).startswith(path_fragment), str(caught.value)
+
+
+def test_forecaster_suggestion_names_close_match():
+    with pytest.raises(SpecError, match="did you mean 'oracle'"):
+        ExperimentSpec.from_json(
+            '{"name": "x", "kind": "neighborhood", '
+            '"fleet": {"homes": 2, "coordination": "online"}, '
+            '"forecast": {"forecaster": "orcale"}}')

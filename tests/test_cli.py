@@ -291,3 +291,82 @@ def test_examples_are_importable():
         module = importlib.util.module_from_spec(spec)
         spec.loader.exec_module(module)
         assert hasattr(module, "main"), script.name
+
+
+# -- PR 8: online coordination + grid export parity -------------------------
+
+
+def test_neighborhood_bare_coordinate_means_feeder():
+    args = build_parser().parse_args(
+        ["neighborhood", "--coordinate"])
+    assert args.coordinate == "feeder"
+    assert build_parser().parse_args(["neighborhood"]).coordinate is None
+    assert build_parser().parse_args(
+        ["neighborhood", "--coordinate", "online"]).coordinate == "online"
+
+
+def test_neighborhood_rejects_unknown_coordinate_and_forecaster():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(
+            ["neighborhood", "--coordinate", "substation"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(
+            ["neighborhood", "--forecaster", "crystal-ball"])
+
+
+def test_neighborhood_online_command(capsys):
+    code, out = run_cli(capsys, "neighborhood", "--homes", "4",
+                        "--fidelity", "ideal", "--horizon-min", "20",
+                        "--coordinate", "online",
+                        "--forecaster", "persistence")
+    assert code == 0
+    assert "Online coordination" in out
+    assert "persistence forecast" in out
+    assert "epochs applied" in out
+
+
+def test_neighborhood_online_export_json(capsys, tmp_path):
+    target = tmp_path / "online.json"
+    code, out = run_cli(capsys, "neighborhood", "--homes", "4",
+                        "--fidelity", "ideal", "--horizon-min", "20",
+                        "--coordinate", "online", "--forecaster", "ewma",
+                        "--forecast-noise", "0.2",
+                        "--export-json", str(target))
+    assert code == 0
+    import json
+    payload = json.loads(target.read_text())
+    online = payload["coordination"]["online"]
+    assert online["forecaster"] == "ewma"
+    assert online["n_epochs"] >= 1
+    assert len(online["epochs"]) == online["n_epochs"]
+    assert len(online["telemetry_digest"]) == 64
+    canonical = payload["spec"]["canonical"]
+    assert canonical["forecast"]["noise"] == 0.2
+    assert canonical["forecast"]["forecaster"] == "ewma"
+
+
+def test_grid_accepts_jobs_and_shard_size_like_neighborhood():
+    args = build_parser().parse_args(
+        ["grid", "--jobs", "4", "--shard-size", "8"])
+    assert args.jobs == 4
+    assert args.shard_size == 8
+
+
+def test_grid_export_json_and_csv(capsys, tmp_path):
+    json_target = tmp_path / "grid.json"
+    csv_target = tmp_path / "grid.csv"
+    code, out = run_cli(capsys, "grid", "--feeders", "2", "--homes", "3",
+                        "--fidelity", "ideal", "--horizon-min", "20",
+                        "--coordinate", "substation",
+                        "--export-json", str(json_target),
+                        "--export-csv", str(csv_target))
+    assert code == 0
+    import json
+    payload = json.loads(json_target.read_text())
+    assert payload["grid"]["n_feeders"] == 2
+    assert payload["grid"]["n_homes"] == 6
+    assert len(payload["feeders"]) == 2
+    assert "comparison" in payload
+    header = csv_target.read_text().splitlines()[0]
+    assert "substation" in header
+    assert "spec_hash" in header

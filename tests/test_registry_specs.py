@@ -38,6 +38,8 @@ FAST_PARAMS = {
                  "horizon": 90 * MINUTE},
     "GRID-10K": {"feeders": 2, "homes": 3, "cp_fidelity": "ideal",
                  "horizon": 30 * MINUTE},
+    "NBHD-ONLINE": {"homes": 6, "cp_fidelity": "ideal", "noises": [0.25],
+                    "horizon": 20 * MINUTE, "epoch": 5 * MINUTE},
 }
 
 

@@ -80,6 +80,29 @@ def test_warm_resubmit_never_touches_the_queue(store, client, monkeypatch):
     assert client.result(job_id, timeout=0) is not None
 
 
+def test_resubmit_after_artifact_loss_requeues_for_execution(store, client):
+    """A ``done`` job whose artifact vanished must execute again.
+
+    The artifact can disappear while the job record stays ``done`` —
+    LRU eviction, or a code-version bump since it was published (the
+    store keys artifacts ``(spec_hash, code_version)``).  A re-submit
+    must send the job through a worker again; before the requeue hook
+    this deadlocked ``result()``: the record said done, the artifact
+    never appeared.
+    """
+    import repro
+    job_id = client.submit(tiny_spec())
+    WorkerDaemon(store).step()
+    baseline = result_digest(client.result(job_id, timeout=0))
+    cache = store.cache()
+    cache._object_path(cache.key_of(job_id, repro.__version__)).unlink()
+    assert client.submit(tiny_spec()) == job_id
+    record = client.queue.job(job_id)
+    assert record.state == "pending" and record.attempts == 0
+    WorkerDaemon(store).step()
+    assert result_digest(client.result(job_id, timeout=0)) == baseline
+
+
 def test_concurrent_identical_submissions_share_one_execution(store):
     spec = tiny_spec(name="raced")
     barrier = threading.Barrier(6)

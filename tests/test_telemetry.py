@@ -1,0 +1,303 @@
+"""The telemetry plane: bulk append, rolling stats, replayable journal.
+
+Three contracts locked here:
+
+* :meth:`repro.sim.monitor.StepSeries.append` is *exactly* a
+  ``record()`` loop — fast path and fallback alike — and every cached
+  view (``times``/``values`` tuples, the ``_data()`` ndarray pair) is
+  invalidated on mutation, never returned stale (the PR 8 regression:
+  a view fetched before an append must reflect the append afterwards);
+* :class:`repro.telemetry.stream.RollingStats` is batch-split
+  invariant: one stream ingested in any partition of batches yields
+  identical summaries, and its windowed mean matches the brute-force
+  time-weighted definition;
+* :class:`repro.telemetry.log.TelemetryLog` replays bit-identically:
+  the journal alone rebuilds every per-home series the live ingestion
+  maintained, and the digest fingerprints the exact event stream.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.monitor import StepSeries
+from repro.telemetry import RollingStats, TelemetryIngest, TelemetryLog
+
+
+def recorded(pairs, name="s"):
+    series = StepSeries(name)
+    for time, value in pairs:
+        series.record(time, value)
+    return series
+
+
+def random_stream(seed, n=60, same_instant=False):
+    rng = np.random.default_rng(seed)
+    steps = rng.uniform(0.0, 5.0, n)
+    if not same_instant:
+        steps = np.maximum(steps, 1e-3)
+    times = np.cumsum(steps)
+    values = np.round(rng.uniform(0.0, 2000.0, n), 1)
+    # Inject duplicates so the no-change skip path is exercised too.
+    for index in rng.choice(n - 1, size=n // 6, replace=False):
+        values[index + 1] = values[index]
+    return times.tolist(), values.tolist()
+
+
+# -- StepSeries.append ------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4])
+def test_append_fast_path_equals_record_loop(seed):
+    times, values = random_stream(seed)
+    bulk, scalar = StepSeries("bulk"), StepSeries("scalar")
+    bulk.append(times, values)
+    for time, value in zip(times, values):
+        scalar.record(time, value)
+    assert tuple(bulk.times) == tuple(scalar.times)
+    assert tuple(bulk.values) == tuple(scalar.values)
+
+
+@pytest.mark.parametrize("seed", [5, 6, 7])
+def test_append_batched_equals_one_batch(seed):
+    times, values = random_stream(seed)
+    rng = np.random.default_rng(seed + 100)
+    cuts = sorted(rng.choice(len(times), size=4, replace=False).tolist())
+    whole, pieces = StepSeries("whole"), StepSeries("pieces")
+    whole.append(times, values)
+    for lo, hi in zip([0] + cuts, cuts + [len(times)]):
+        pieces.append(times[lo:hi], values[lo:hi])
+    assert tuple(whole.times) == tuple(pieces.times)
+    assert tuple(whole.values) == tuple(pieces.values)
+
+
+def test_append_fallback_same_instant_overwrite_wins():
+    series = StepSeries()
+    # t=2.0 appears twice: record() semantics say the later value wins.
+    series.append([0.0, 2.0, 2.0, 3.0], [10.0, 20.0, 25.0, 30.0])
+    assert tuple(series.times) == (0.0, 2.0, 3.0)
+    assert tuple(series.values) == (10.0, 25.0, 30.0)
+
+
+def test_append_fallback_joins_at_last_record_time():
+    series = recorded([(0.0, 5.0), (4.0, 9.0)])
+    series.append([4.0, 6.0], [7.0, 8.0])
+    assert tuple(series.times) == (0.0, 4.0, 6.0)
+    assert tuple(series.values) == (5.0, 7.0, 8.0)
+
+
+def test_append_skips_no_change_values_like_record():
+    series = StepSeries()
+    series.append([0.0, 1.0, 2.0, 3.0], [5.0, 5.0, 6.0, 6.0])
+    assert tuple(series.times) == (0.0, 2.0)
+    assert tuple(series.values) == (5.0, 6.0)
+    # Continuing a held value across batches is also skipped.
+    series.append([4.0], [6.0])
+    assert tuple(series.times) == (0.0, 2.0)
+
+
+def test_append_rejects_regression_and_shape_mismatch():
+    series = recorded([(0.0, 1.0), (5.0, 2.0)])
+    with pytest.raises(ValueError, match="precedes"):
+        series.append([4.0], [3.0])
+    with pytest.raises(ValueError, match="equal-length"):
+        series.append([0.0, 1.0], [1.0])
+    with pytest.raises(ValueError):
+        series.append([[0.0, 1.0]], [[1.0, 2.0]])
+
+
+def test_append_empty_batch_is_a_no_op():
+    series = recorded([(0.0, 1.0)])
+    before = (tuple(series.times), tuple(series.values))
+    series.append([], [])
+    assert (tuple(series.times), tuple(series.values)) == before
+
+
+# -- stale cached views (the PR 8 regression) -------------------------------
+
+
+def test_views_fetched_before_append_are_not_returned_stale():
+    series = recorded([(0.0, 1.0), (10.0, 2.0)])
+    stale_times, stale_values = series.times, series.values
+    stale_arrays = series._data()
+    series.append([20.0, 30.0], [3.0, 4.0])
+    assert tuple(series.times) == (0.0, 10.0, 20.0, 30.0)
+    assert tuple(series.values) == (1.0, 2.0, 3.0, 4.0)
+    fresh_arrays = series._data()
+    assert fresh_arrays[0].tolist() == [0.0, 10.0, 20.0, 30.0]
+    assert fresh_arrays[1].tolist() == [1.0, 2.0, 3.0, 4.0]
+    # The stale snapshots still describe the pre-append state (views are
+    # immutable snapshots, not live aliases).
+    assert stale_times == (0.0, 10.0)
+    assert stale_values == (1.0, 2.0)
+    assert stale_arrays[0].tolist() == [0.0, 10.0]
+
+
+@pytest.mark.parametrize("mutate", [
+    lambda s: s.record(20.0, 9.0),
+    lambda s: s.record(10.0, 9.0),          # same-instant overwrite
+    lambda s: s.append([20.0], [9.0]),      # fast path
+    lambda s: s.append([10.0, 20.0], [9.0, 9.5]),  # fallback path
+])
+def test_every_mutation_path_invalidates_cached_views(mutate):
+    series = recorded([(0.0, 1.0), (10.0, 2.0)])
+    series.times, series.values, series._data()  # populate both caches
+    mutate(series)
+    assert series.at(20.0) == pytest.approx(
+        tuple(series.values)[-1])
+    assert tuple(series.times) == tuple(series._data()[0].tolist())
+    assert tuple(series.values) == tuple(series._data()[1].tolist())
+    assert 9.0 in series.values
+
+
+def test_stats_recompute_after_append():
+    series = recorded([(0.0, 100.0), (10.0, 0.0)])
+    assert series.integral(0.0, 10.0) == pytest.approx(1000.0)
+    series.append([20.0, 30.0], [50.0, 0.0])
+    assert series.integral(0.0, 30.0) == pytest.approx(1500.0)
+    assert series.maximum(0.0, 30.0) == 100.0
+
+
+# -- RollingStats -----------------------------------------------------------
+
+
+def test_rolling_stats_validation():
+    with pytest.raises(ValueError, match="window_s"):
+        RollingStats(0.0)
+    with pytest.raises(ValueError, match="ewma_alpha"):
+        RollingStats(10.0, ewma_alpha=0.0)
+    with pytest.raises(ValueError, match="ewma_alpha"):
+        RollingStats(10.0, ewma_alpha=1.5)
+    stats = RollingStats(10.0)
+    stats.ingest([5.0], [1.0])
+    with pytest.raises(ValueError, match="precedes"):
+        stats.ingest([4.0], [2.0])
+
+
+def test_rolling_stats_zero_before_any_sample():
+    stats = RollingStats(60.0)
+    assert stats.now == 0.0
+    assert stats.current == 0.0
+    assert stats.mean == 0.0
+    assert stats.peak == 0.0
+    assert stats.ewma == 0.0
+
+
+@pytest.mark.parametrize("seed", [11, 12, 13, 14])
+def test_rolling_stats_batch_split_invariance(seed):
+    times, values = random_stream(seed, n=80)
+    one = RollingStats(25.0, ewma_alpha=0.4)
+    one.ingest(times, values)
+    rng = np.random.default_rng(seed + 50)
+    cuts = sorted(rng.choice(len(times), size=6, replace=False).tolist())
+    many = RollingStats(25.0, ewma_alpha=0.4)
+    for lo, hi in zip([0] + cuts, cuts + [len(times)]):
+        many.ingest(times[lo:hi], values[lo:hi])
+    assert many.now == one.now
+    assert many.current == one.current
+    assert many.mean == one.mean
+    assert many.peak == one.peak
+    assert many.ewma == one.ewma
+
+
+@pytest.mark.parametrize("seed", [21, 22])
+def test_rolling_mean_matches_time_weighted_definition(seed):
+    times, values = random_stream(seed, n=40)
+    window = 30.0
+    stats = RollingStats(window)
+    stats.ingest(times, values)
+    now = times[-1]
+    cutoff = now - window
+    terms, span = [], []
+    for (t0, v0), t1 in zip(zip(times, values), times[1:]):
+        overlap = min(t1, now) - max(t0, cutoff)
+        if overlap > 0:
+            terms.append(overlap * v0)
+            span.append(overlap)
+    expected = math.fsum(terms) / math.fsum(span)
+    assert stats.mean == pytest.approx(expected, rel=1e-12)
+
+
+def test_rolling_peak_includes_current_value_and_evicts_old():
+    stats = RollingStats(10.0)
+    stats.ingest([0.0, 1.0, 20.0], [500.0, 5.0, 50.0])
+    # The 500 W segment ended at t=1 < 20-10: evicted from the window.
+    assert stats.peak == 50.0
+    assert stats.current == 50.0
+
+
+def test_rolling_ewma_saturates_toward_held_value():
+    stats = RollingStats(10.0, ewma_alpha=0.5)
+    stats.ingest([0.0], [100.0])
+    stats.ingest([1000.0], [0.0])  # 100 windows of 100 W signal
+    assert stats.ewma == pytest.approx(100.0, rel=1e-9)
+
+
+# -- TelemetryIngest + TelemetryLog -----------------------------------------
+
+
+def ingested(window_s=60.0, homes=(0, 1, 7), seed=31, batches=4):
+    ingest = TelemetryIngest(window_s=window_s)
+    rng = np.random.default_rng(seed)
+    for home in homes:
+        times, values = random_stream(seed + home, n=batches * 10)
+        cuts = sorted(rng.choice(len(times), size=batches - 1,
+                                 replace=False).tolist())
+        for lo, hi in zip([0] + cuts, cuts + [len(times)]):
+            ingest.ingest(home, times[lo:hi], values[lo:hi])
+    return ingest
+
+
+def test_ingest_feeds_series_stats_and_journal_together():
+    ingest = ingested()
+    for home in (0, 1, 7):
+        assert len(ingest.series(home)) > 0
+        # The series dedups held values, so its last record may predate
+        # the last raw sample; the stats clock tracks the raw stream.
+        last_sample = max(event.time for event in ingest.log.events
+                          if event.home_id == home)
+        assert ingest.stats(home).now == last_sample
+        assert tuple(ingest.series(home).times)[-1] <= last_sample
+    assert len(ingest.log) == sum(
+        1 for event in ingest.log.events)
+    assert {event.home_id for event in ingest.log.events} == {0, 1, 7}
+
+
+def test_untouched_home_reads_as_empty_not_error():
+    ingest = TelemetryIngest(window_s=60.0)
+    assert len(ingest.series(99)) == 0
+    assert ingest.stats(99).mean == 0.0
+
+
+def test_log_replay_rebuilds_series_bit_identically():
+    ingest = ingested()
+    replayed = ingest.log.replay()
+    assert set(replayed) == {0, 1, 7}
+    for home, series in replayed.items():
+        live = ingest.series(home)
+        assert tuple(series.times) == tuple(live.times)
+        assert tuple(series.values) == tuple(live.values)
+
+
+def test_log_digest_fingerprints_exact_event_stream():
+    first, second = ingested(seed=41), ingested(seed=41)
+    assert first.log.digest() == second.log.digest()
+    assert len(first.log) == len(second.log)
+    # One ULP of one value changes the digest.
+    perturbed = TelemetryLog()
+    for index, event in enumerate(first.log.events):
+        value = event.value if index else np.nextafter(event.value,
+                                                       np.inf)
+        perturbed.extend(event.home_id, [event.time], [value])
+    assert perturbed.digest() != first.log.digest()
+
+
+def test_log_events_view_is_immutable_snapshot():
+    log = TelemetryLog()
+    log.extend(3, [0.0, 1.0], [10.0, 20.0])
+    events = log.events
+    log.extend(3, [2.0], [30.0])
+    assert len(events) == 2
+    assert len(log.events) == 3
+    assert isinstance(log.events, tuple)

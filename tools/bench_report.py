@@ -63,6 +63,7 @@ GROUP_FILES: dict[str, tuple[str, ...]] = {
     "fleet": ("benchmarks/test_bench_fleet.py",),
     "grid": ("benchmarks/test_bench_grid.py",),
     "service": ("benchmarks/test_bench_service.py",),
+    "online": ("benchmarks/test_bench_online.py",),
 }
 
 
@@ -104,6 +105,25 @@ def reduce_report(raw: dict) -> dict:
     return groups
 
 
+def host_info(raw_machine_info: dict) -> dict:
+    """The report's host block: bench-host facts that explain numbers.
+
+    pytest-benchmark's machine_info carries interpreter + OS identity;
+    CPU count and the platform triple are added here because they are
+    the two facts a reader diffing BENCH_*.json files across hosts
+    needs first (a 2x wall-time delta on half the cores is not a
+    regression).
+    """
+    import platform
+    return {
+        **{key: raw_machine_info.get(key)
+           for key in ("python_version", "cpu", "system")},
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -143,9 +163,7 @@ def main(argv: list[str] | None = None) -> int:
         "schema": 1,
         "argv": ["tools/bench_report.py", *sys.argv[1:]],
         "pytest_exit_code": proc.returncode,
-        "machine_info": {
-            key: raw.get("machine_info", {}).get(key)
-            for key in ("python_version", "cpu", "system")},
+        "machine_info": host_info(raw.get("machine_info", {})),
         "groups": reduce_report(raw),
     }
     out_path = Path(args.out)

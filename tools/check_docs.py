@@ -48,13 +48,16 @@ API_MODULES = [
     "repro.api.spec",
     "repro.api.validate",
     "repro.core.coordinator",
+    "repro.core.scheduler",
     "repro.experiments.pool",
+    "repro.forecast.forecasters",
     "repro.experiments.runner",
     "repro.neighborhood.aggregate",
     "repro.neighborhood.coordination",
     "repro.neighborhood.federation",
     "repro.neighborhood.fleet",
     "repro.neighborhood.grid",
+    "repro.neighborhood.online",
     "repro.neighborhood.shard",
     "repro.neighborhood.transport",
     "repro.service.client",
@@ -62,6 +65,8 @@ API_MODULES = [
     "repro.service.server",
     "repro.service.store",
     "repro.service.worker",
+    "repro.telemetry.log",
+    "repro.telemetry.stream",
 ]
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
