@@ -145,6 +145,17 @@ def run_result_to_json(result, path: str | Path,
             "rounds_active": result.cp_stats.rounds_active,
             "delivery_ratio": result.cp_stats.delivery_ratio,
         }
+    if result.at_stats is not None:
+        payload["mac"] = {
+            "reports_sent": result.at_stats.reports_sent,
+            "reports_delivered": result.at_stats.reports_delivered,
+            "report_delivery_ratio":
+                result.at_stats.report_delivery_ratio,
+            "collection_drops": result.at_stats.collection_drops,
+            "dropped_channel_busy":
+                result.at_stats.dropped_channel_busy,
+            "dropped_no_ack": result.at_stats.dropped_no_ack,
+        }
     if sample_step is not None:
         grid, values = result.load_w.sample_grid(0.0, result.horizon,
                                                  sample_step)
@@ -383,6 +394,33 @@ def grid_to_csv(grid_result, path: str | Path, step: float = 60.0,
     return multi_series_to_csv(series_map, path, 0.0,
                                grid_result.horizon, step,
                                constants=constants)
+
+
+def mac_stats_to_csv(result, path: str | Path) -> Path:
+    """The AT stack's loss breakdown as one CSV row.
+
+    Requires a run that exercised the collection network
+    (``at_stats`` set — the ``"uncoordinated"`` policy family);
+    columns mirror the ``"mac"`` block of :func:`run_result_to_json`.
+    """
+    stats = result.at_stats
+    if stats is None:
+        raise ValueError(
+            "run has no collection-network stats (at_stats is None); "
+            "MAC loss counters only exist for policies that run the "
+            "centralized AT stack")
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["reports_sent", "reports_delivered",
+                         "report_delivery_ratio", "collection_drops",
+                         "dropped_channel_busy", "dropped_no_ack"])
+        writer.writerow([stats.reports_sent, stats.reports_delivered,
+                         stats.report_delivery_ratio,
+                         stats.collection_drops,
+                         stats.dropped_channel_busy,
+                         stats.dropped_no_ack])
+    return path
 
 
 def requests_to_csv(result, path: str | Path) -> Path:

@@ -242,6 +242,15 @@ class ResultCache:
         different code version, or a corrupt/truncated object (which is
         deleted).  Every lookup lands in the persisted hit/miss
         counters (:meth:`stats`).
+
+        Under an active fault plan, the ``cache.corrupt`` site can turn
+        a successful read into exactly the corrupt-object path — object
+        discarded, miss counted, ``None`` returned — so recompute-on-
+        corruption is exercised end to end.  The decision is keyed
+        ``{digest}:r{n}`` with ``n`` this process's read count of the
+        digest, so repeated polls of one artifact are independent
+        decisions (a digest is never *permanently* corrupt, which would
+        deadlock clients waiting on a done job).
         """
         import repro
         key = self.key_of(digest, repro.__version__)
@@ -257,6 +266,14 @@ class ResultCache:
             self.discard(key)
             self._count_miss()
             return None
+        from repro.faults import get_injector
+        injector = get_injector()
+        if injector is not None:
+            occurrence = injector.occurrence("cache.corrupt", digest)
+            if injector.fire("cache.corrupt", f"{digest}:r{occurrence}"):
+                self.discard(key)
+                self._count_miss()
+                return None
         index = self._read_index()
         entry = index.get(key)
         if isinstance(entry, dict):

@@ -214,20 +214,40 @@ def run(spec: ExperimentSpec, jobs: int = 1,
     validate(spec)
     provenance = provenance_of(spec)
     store = resolve_cache(cache)
-    if store is not None:
-        hit = store.get(spec, spec_digest=provenance.spec_hash)
-        if hit is not None:
-            return hit
-    result = _execute(spec, provenance, jobs, mp_context, shard_size)
-    if store is not None:
-        store.put(spec, result, spec_digest=provenance.spec_hash)
+    # The fault scope covers the cache lookup too, not just execution:
+    # a spec whose plan corrupts artifact reads must see its own cached
+    # result degrade to a recompute (the ``cache.corrupt`` site).
+    from repro.faults import fault_scope
+    with fault_scope(spec.faults):
+        if store is not None:
+            hit = store.get(spec, spec_digest=provenance.spec_hash)
+            if hit is not None:
+                return hit
+        result = _execute(spec, provenance, jobs, mp_context, shard_size)
+        if store is not None:
+            store.put(spec, result, spec_digest=provenance.spec_hash)
     return result
 
 
 def _execute(spec: ExperimentSpec, provenance: Provenance, jobs: int,
              mp_context: Optional[str],
              shard_size: Optional[int] = None) -> Result:
-    """Run a validated spec (the cache-miss path of :func:`run`)."""
+    """Run a validated spec (the cache-miss path of :func:`run`).
+
+    A :class:`~repro.faults.plan.FaultPlan` on the spec is activated
+    for the duration of the execution (:func:`repro.faults.fault_scope`)
+    so the injection sites along the fleet paths see it; with no plan
+    (or all-zero rates) the scope is a no-op.
+    """
+    from repro.faults import fault_scope
+    with fault_scope(spec.faults):
+        return _execute_body(spec, provenance, jobs, mp_context,
+                             shard_size)
+
+
+def _execute_body(spec: ExperimentSpec, provenance: Provenance,
+                  jobs: int, mp_context: Optional[str],
+                  shard_size: Optional[int] = None) -> Result:
     from repro.experiments.runner import ParallelRunner
     if spec.kind in ("single", "sweep"):
         runner = ParallelRunner(jobs=jobs, mp_context=mp_context)

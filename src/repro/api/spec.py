@@ -20,7 +20,8 @@ Layout of the tree::
     ├── seeds / until_s
     ├── fleet:    FleetPlan      (neighborhood runs only)
     ├── forecast: ForecastPlan   (online-coordinated neighborhoods only)
-    ├── grid:     GridPlan       (multi-feeder grid runs only)
+    ├── faults:   FaultPlan      (seeded fault injection, optional)
+    ├── grid:     GridPlan (multi-feeder grid runs only)
     │   └── feeders: (FeederPlan, ...)
     ├── sweep:    SweepSpec      (sweep runs only)
     └── artefact: ArtefactSpec   (registry artefacts only)
@@ -37,6 +38,8 @@ import hashlib
 import json
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Mapping, Optional
+
+from repro.faults.plan import RATE_FIELDS, FaultPlan
 
 #: Version of the serialized layout; bumped on incompatible changes so a
 #: stored spec is never silently misread.
@@ -208,6 +211,7 @@ class ExperimentSpec:
     until_s: Optional[float] = None
     fleet: Optional[FleetPlan] = None
     forecast: Optional[ForecastPlan] = None
+    faults: Optional[FaultPlan] = None
     grid: Optional[GridPlan] = None
     sweep: Optional[SweepSpec] = None
     artefact: Optional[ArtefactSpec] = None
@@ -218,10 +222,10 @@ class ExperimentSpec:
     def to_dict(self) -> dict:
         """A JSON-ready dict with every field explicit (tuples → lists).
 
-        The ``forecast`` key appears only when the section is set: it
-        postdates schema v1, and omitting the default keeps every
-        pre-existing spec's canonical JSON — and hence its content hash
-        and cached results — byte-identical.
+        The ``forecast`` and ``faults`` keys appear only when those
+        sections are set: they postdate schema v1, and omitting the
+        default keeps every pre-existing spec's canonical JSON — and
+        hence its content hash and cached results — byte-identical.
         """
         out = {
             "schema_version": self.schema_version,
@@ -247,6 +251,8 @@ class ExperimentSpec:
         }
         if self.forecast is not None:
             out["forecast"] = _section_to_dict(self.forecast)
+        if self.faults is not None:
+            out["faults"] = _section_to_dict(self.faults)
         return out
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -273,6 +279,8 @@ class ExperimentSpec:
         forecast = ForecastPlan(**_coerced(data["forecast"],
                                            ForecastPlan)) \
             if data.get("forecast") is not None else None
+        faults = FaultPlan(**_coerced(data["faults"], FaultPlan)) \
+            if data.get("faults") is not None else None
         grid_data = data.get("grid")
         grid = GridPlan(
             feeders=tuple(FeederPlan(**_coerced(feeder, FeederPlan))
@@ -300,7 +308,8 @@ class ExperimentSpec:
                    seeds=tuple(data.get("seeds", (1,))),
                    until_s=float(until_s) if until_s is not None
                    else None,
-                   fleet=fleet, forecast=forecast, grid=grid, sweep=sweep,
+                   fleet=fleet, forecast=forecast, faults=faults,
+                   grid=grid, sweep=sweep,
                    artefact=artefact,
                    schema_version=data.get("schema_version",
                                            SCHEMA_VERSION))
@@ -375,6 +384,7 @@ _FLOAT_FIELDS = {
     FleetPlan: ("rate_jitter", "size_jitter"),
     FeederPlan: ("rate_jitter", "size_jitter"),
     ForecastPlan: ("noise", "ewma_alpha"),
+    FaultPlan: RATE_FIELDS,
 }
 
 

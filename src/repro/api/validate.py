@@ -189,6 +189,21 @@ def _validate_forecast(data: Mapping[str, Any]) -> None:
             minimum=1, integer=True)
 
 
+def _validate_faults(data: Mapping[str, Any]) -> None:
+    from repro.faults.plan import RATE_FIELDS
+    allowed = ("seed",) + RATE_FIELDS + ("max_delay_epochs",)
+    _check_keys(data, allowed, "faults")
+    _number(data.get("seed", 0), "faults.seed", minimum=0, integer=True)
+    for name in RATE_FIELDS:
+        rate = data.get(name, 0.0)
+        _number(rate, f"faults.{name}", minimum=0.0)
+        if rate > 1.0:
+            raise SpecError(f"faults.{name}",
+                            f"must be <= 1 (a probability), got {rate!r}")
+    _number(data.get("max_delay_epochs", 2), "faults.max_delay_epochs",
+            minimum=1, integer=True)
+
+
 def _validate_grid(data: Mapping[str, Any]) -> None:
     from repro.neighborhood.grid import GRID_COORDINATION_MODES
     from repro.workloads.scenarios import FLEET_MIXES
@@ -296,8 +311,8 @@ def validate_data(data: Mapping[str, Any]) -> None:
     if not isinstance(data, Mapping):
         raise SpecError("", f"spec must be an object, got {data!r}")
     allowed = ("schema_version", "name", "kind", "scenario", "control",
-               "seeds", "until_s", "fleet", "forecast", "grid", "sweep",
-               "artefact")
+               "seeds", "until_s", "fleet", "forecast", "faults", "grid",
+               "sweep", "artefact")
     _check_keys(data, allowed, "")
     version = data.get("schema_version", SCHEMA_VERSION)
     if not isinstance(version, int) or isinstance(version, bool):
@@ -355,6 +370,33 @@ def validate_data(data: Mapping[str, Any]) -> None:
                 f"fleet.coordination 'online'; this spec has kind "
                 f"{kind!r} with coordination {coordination!r}")
         _validate_forecast(_section(forecast_data, "forecast"))
+
+    faults_data = data.get("faults")
+    if faults_data is not None:
+        faults_data = _section(faults_data, "faults")
+        # Fault injection exercises the fleet execution paths (workers,
+        # transport, telemetry); on single/sweep/artefact shapes the
+        # sites never run, so the section would be dead configuration.
+        if kind not in ("neighborhood", "grid"):
+            raise SpecError(
+                "faults",
+                "only valid for kinds 'neighborhood' and 'grid'; this "
+                f"spec has kind {kind!r}")
+        _validate_faults(faults_data)
+        telemetry_rates = [faults_data.get(name, 0.0)
+                           for name in ("telemetry_drop",
+                                        "telemetry_delay",
+                                        "telemetry_dup")]
+        if any(rate > 0 for rate in telemetry_rates):
+            fleet_data = data.get("fleet") or {}
+            coordination = fleet_data.get("coordination", "independent")
+            if coordination != "online":
+                raise SpecError(
+                    "faults",
+                    "telemetry fault rates only apply to "
+                    "fleet.coordination 'online' (the telemetry plane "
+                    "only runs there); this spec has coordination "
+                    f"{coordination!r}")
 
 
 def _kind_of(section_name: str) -> str:

@@ -374,7 +374,7 @@ class HanSystem:
             cp_stats=self.cp.stats if self.cp is not None else None,
             cp_calibration=self.cp_calibration,
             st_energy=self.st_energy,
-            at_stats=(self.at_network.stats
+            at_stats=(self.at_network.snapshot_stats()
                       if self.at_network is not None else None),
             agents=dict(self.agents),
             bursts={device_id: [(record.on_at, record.off_at)

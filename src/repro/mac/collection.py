@@ -52,12 +52,22 @@ class CollectionStats:
     report_latencies: list[float] = field(default_factory=list)
     dissemination_latencies: dict[int, list[float]] = field(
         default_factory=dict)
+    #: frames abandoned because every CCA attempt found the channel busy
+    #: (folded from the per-node MAC counters at snapshot time)
+    dropped_channel_busy: int = 0
+    #: unicast frames abandoned after exhausting MAC ACK retries
+    dropped_no_ack: int = 0
 
     @property
     def report_delivery_ratio(self) -> float:
         if not self.reports_sent:
             return 1.0
         return self.reports_delivered / self.reports_sent
+
+    @property
+    def collection_drops(self) -> int:
+        """Reports that never reached the sink (end-to-end loss)."""
+        return self.reports_sent - self.reports_delivered
 
     def mean_report_latency(self) -> float:
         if not self.report_latencies:
@@ -94,6 +104,20 @@ class CollectionNetwork:
                             rng_factory(f"csma-{node_id}"),
                             receive_callback=self._make_receiver(node_id))
             self.nodes[node_id] = node
+
+    def snapshot_stats(self) -> CollectionStats:
+        """The stats with the per-node MAC loss counters folded in.
+
+        The nodes own the raw counters (:class:`CsmaNode` increments
+        them at drop time); this sums them into the end-to-end record
+        so exported results carry the full loss breakdown.  Safe to
+        call repeatedly — the fold overwrites, never accumulates.
+        """
+        self.stats.dropped_channel_busy = sum(
+            node.dropped_channel_busy for node in self.nodes.values())
+        self.stats.dropped_no_ack = sum(
+            node.dropped_no_ack for node in self.nodes.values())
+        return self.stats
 
     # -- failures -----------------------------------------------------------------
 

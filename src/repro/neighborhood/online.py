@@ -31,6 +31,28 @@ The epoch loop (:func:`coordinate_fleet_online`), per epoch:
    :class:`~repro.telemetry.log.TelemetryLog`), becoming history for
    the next epoch's predictions.
 
+**Degradation under telemetry faults.**  With an active
+:mod:`repro.faults` plan, a home's per-epoch batch can be dropped,
+delayed (delivered whole a few epochs later through
+:meth:`~repro.telemetry.stream.TelemetryIngest.ingest_late`), or
+duplicated in the journal.  A per-home staleness ledger tracks the
+newest epoch each home has reported through; a home whose ledger lags
+the prediction boundary falls down a three-step ladder instead of
+feeding stale data to its configured forecaster:
+
+1. **persistence** — any telemetry at all → predict the last observed
+   window forward (:class:`repro.forecast.PersistenceForecaster`);
+2. **last committed envelope** — no telemetry yet but a previous epoch
+   negotiated → reuse that epoch's committed envelope;
+3. **zero offset** — nothing known → a zero envelope, and the home's
+   claim is forced to offset 0 for the epoch (it participates in
+   aggregation but never rotates blind).
+
+The ladder only shapes *predictions*; offsets still rotate realized
+windows under the per-epoch guard, so energy conservation (drift
+exactly 0.0 Wh) and never-raise-peak hold under **any** fault
+schedule — the invariants ``tests/test_fault_matrix.py`` locks.
+
 Determinism: the loop consumes only the bit-deterministic per-home
 results in fleet order, forecasters are pure (noise comes from named
 streams keyed on home and window), and stitching uses the scalar-
@@ -105,6 +127,9 @@ class EpochOutcome:
     independent_peak_w: float
     #: realized peak of the (possibly rotated) window as applied, watts
     coordinated_peak_w: float
+    #: homes served off the degradation ladder this epoch (stale
+    #: telemetry → persistence / last envelope / forced zero offset)
+    stale_homes: int = 0
 
 
 @dataclass
@@ -129,6 +154,14 @@ class OnlineCoordination(FeederCoordination):
     telemetry_digest: str = ""
     #: number of samples journalled across the run
     telemetry_events: int = 0
+    #: per-epoch telemetry batches dropped by an injected fault plan
+    telemetry_dropped: int = 0
+    #: batches delivered late (whole, a few epochs on) by injection
+    telemetry_delayed: int = 0
+    #: batches journalled twice by injection (duplicate storms)
+    telemetry_duplicated: int = 0
+    #: home-epochs predicted off the degradation ladder (stale inputs)
+    stale_predictions: int = 0
 
     @property
     def n_epochs(self) -> int:
@@ -215,13 +248,24 @@ def coordinate_fleet_online(fleet: "FleetSpec",
     # the coordination module (for envelope shapes), and this package's
     # __init__ pulls us in — a top-level import would cycle whenever
     # repro.forecast is imported first.
-    from repro.forecast import make_forecaster
+    from repro.forecast import PersistenceForecaster, make_forecaster
     forecaster = make_forecaster(
         forecast.forecaster, realized=realized, noise=forecast.noise,
         noise_seed=forecast.noise_seed, ewma_alpha=forecast.ewma_alpha,
         season_epochs=forecast.season_epochs)
     telemetry = TelemetryIngest(window_s=epoch_s,
                                 ewma_alpha=forecast.ewma_alpha)
+    from repro.faults import get_injector
+    injector = get_injector()
+    fallback = PersistenceForecaster()
+    #: newest source epoch each home has reported through (the
+    #: staleness ledger) — only consulted when an injector is active;
+    #: without one it tracks `index` exactly and no home is ever stale
+    latest_ingested: dict[int, int] = {}
+    #: delayed batches awaiting delivery: target epoch -> batches of
+    #: ``(home_id, times, values, source_epoch)``
+    held: dict[int, list[tuple[int, list, list, int]]] = {}
+    dropped = delayed = duplicated = stale_served = 0
 
     contributions = [StepSeries(result.load_w.name)
                      for result in results]
@@ -235,11 +279,37 @@ def coordinate_fleet_online(fleet: "FleetSpec",
     last_applied_offsets: tuple[float, ...] = last_planned
 
     for index, (start, end) in enumerate(windows):
-        predictions = {
-            home_id: forecaster.predict(
-                home_id, telemetry.series(home_id), start, end, bin_s,
-                bins)
-            for home_id in home_ids}
+        # Deliver any batches whose injected delay expires this epoch
+        # *before* predicting — a recovered home predicts from real
+        # (late) telemetry again instead of riding the ladder.
+        for home_id, times, values, source in held.pop(index, []):
+            telemetry.ingest_late(home_id, times, values)
+            latest_ingested[home_id] = max(
+                latest_ingested.get(home_id, -1), source)
+        predictions = {}
+        forced_zero: set[int] = set()
+        epoch_stale = 0
+        for home_id in home_ids:
+            stale = index > 0 and \
+                latest_ingested.get(home_id, -1) < index - 1
+            if not stale:
+                predictions[home_id] = forecaster.predict(
+                    home_id, telemetry.series(home_id), start, end,
+                    bin_s, bins)
+                continue
+            # Degradation ladder: persistence over whatever telemetry
+            # exists, else the last committed envelope, else a zero
+            # envelope with the claim pinned to offset 0.
+            epoch_stale += 1
+            if len(telemetry.series(home_id)):
+                predictions[home_id] = fallback.predict(
+                    home_id, telemetry.series(home_id), start, end,
+                    bin_s, bins)
+            elif home_id in previous:
+                predictions[home_id] = previous[home_id]
+            else:
+                predictions[home_id] = tuple(0.0 for _ in range(bins))
+                forced_zero.add(home_id)
         if plane is None or replan == "cold":
             changed = list(home_ids)
             claims, stats, sweeps = negotiate_offsets(
@@ -261,7 +331,13 @@ def coordinate_fleet_online(fleet: "FleetSpec",
         total_sweeps += sweeps
         replanned += len(changed)
 
-        planned = tuple(claims[home_id] * bin_s for home_id in home_ids)
+        # Ladder step 3: a home negotiating on a zero envelope holds a
+        # claim, but its *applied* offset is pinned to 0 — never rotate
+        # a home the plane knows nothing about.  The claims dict itself
+        # stays untouched (it is the plane's live negotiation state).
+        planned = tuple(
+            0.0 if home_id in forced_zero else claims[home_id] * bin_s
+            for home_id in home_ids)
         rotated = [rotate_window(realized[home_id], offset, start, end)
                    for home_id, offset in zip(home_ids, planned)]
         independent_peak = independent.maximum(start, end)
@@ -279,13 +355,39 @@ def coordinate_fleet_online(fleet: "FleetSpec",
             series.append(window.times, window.values)
         for home_id in home_ids:
             window = realized[home_id].window(start, end)
+            if injector is not None:
+                key = f"e{index}:{home_id}"
+                if injector.fire("telemetry.drop", key):
+                    dropped += 1
+                    continue
+                if injector.fire("telemetry.delay", key):
+                    target = index + injector.delay_epochs(key)
+                    if target < len(windows):
+                        held.setdefault(target, []).append(
+                            (home_id, list(window.times),
+                             list(window.values), index))
+                        delayed += 1
+                    else:
+                        dropped += 1  # past the horizon = never arrives
+                    continue
             telemetry.ingest(home_id, window.times, window.values)
+            latest_ingested[home_id] = max(
+                latest_ingested.get(home_id, -1), index)
+            if injector is not None and \
+                    injector.fire("telemetry.dup", f"e{index}:{home_id}"):
+                # Duplicate storm: the journal sees the batch twice;
+                # replay() collapses the copies bit-identically.
+                telemetry.log.extend(home_id, window.times,
+                                     window.values)
+                duplicated += 1
+        stale_served += epoch_stale
         outcomes.append(EpochOutcome(
             index=index, start_s=start, end_s=end, applied=applied,
             offsets_s=offsets, changed_homes=len(changed),
             cp_rounds=stats.rounds_total,
             independent_peak_w=independent_peak,
-            coordinated_peak_w=coordinated_peak))
+            coordinated_peak_w=coordinated_peak,
+            stale_homes=epoch_stale))
         previous = predictions
         last_planned = planned
         last_applied_offsets = offsets
@@ -303,4 +405,7 @@ def coordinate_fleet_online(fleet: "FleetSpec",
         epochs=tuple(outcomes), forecaster=forecast.forecaster,
         replanned_homes=replanned,
         telemetry_digest=telemetry.log.digest(),
-        telemetry_events=len(telemetry.log))
+        telemetry_events=len(telemetry.log),
+        telemetry_dropped=dropped, telemetry_delayed=delayed,
+        telemetry_duplicated=duplicated,
+        stale_predictions=stale_served)

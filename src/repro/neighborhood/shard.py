@@ -36,8 +36,8 @@ from repro.analysis.loadstats import LoadStats, load_stats
 from repro.core.system import RunResult, execute_config
 from repro.neighborhood.aggregate import SeriesPartial, partial_sum
 from repro.neighborhood.fleet import FleetSpec
-from repro.neighborhood.transport import SeriesFrame, pack_series, \
-    unpack_series
+from repro.neighborhood.transport import FrameUnavailableError, \
+    SeriesFrame, pack_series, unpack_series
 
 #: Fleets smaller than this stay on the per-home path by default —
 #: dispatch and aggregation overhead only dominates at fleet scale.
@@ -244,10 +244,26 @@ def execute_shards(shards: Sequence[ShardSpec], jobs: int = 1,
             continue
         outcome: ShardOutcome = payload
         if outcome.frame is not None:
-            series = unpack_series(outcome.frame)
-            outcome.homes = [replace(result, load_w=one)
-                             for result, one in zip(outcome.homes,
-                                                    series)]
+            try:
+                series = unpack_series(outcome.frame)
+            except FrameUnavailableError:
+                # The shard's batched series are gone — the packing
+                # worker crashed and its segment was reaped (or a
+                # transport.frame fault was injected).  Home runs are
+                # bit-deterministic, so re-executing the shard here,
+                # in-process and frameless, reproduces the lost data
+                # exactly; only the transport optimization is lost.
+                status, name, payload = _execute_shard(
+                    replace(shards[outcome.index], transport=None))
+                if status == "err":
+                    if failure is None:
+                        failure = (name, payload)
+                    continue
+                outcome = payload
+            else:
+                outcome.homes = [replace(result, load_w=one)
+                                 for result, one in zip(outcome.homes,
+                                                        series)]
         homes.extend(outcome.homes)
         partials.append(outcome.partial)
         home_stats.extend(outcome.home_stats)

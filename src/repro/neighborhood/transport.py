@@ -38,6 +38,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.faults import get_injector
 from repro.sim.monitor import StepSeries
 
 #: Environment variable forcing a transport (one of :data:`TRANSPORTS`).
@@ -176,6 +177,28 @@ def pack_series(series_list: Sequence[StepSeries],
                        blob=block.tobytes())
 
 
+def _discard_frame(frame: SeriesFrame) -> None:
+    """Release a frame's real backing before an injected loss.
+
+    An injected ``transport.frame`` fault must behave like the segment
+    never existed — so the *actual* shared-memory segment is unlinked
+    and closed first, or it would leak in ``/dev/shm`` for the life of
+    the pool process.  Pickle blobs need no cleanup.
+    """
+    if frame.shm_name is None:
+        return
+    from multiprocessing import shared_memory
+    try:
+        segment = shared_memory.SharedMemory(name=frame.shm_name)
+    except (FileNotFoundError, OSError):  # already gone
+        return
+    try:
+        segment.unlink()
+    except OSError:  # pragma: no cover - race with a cleaner
+        pass
+    segment.close()
+
+
 def unpack_series(frame: SeriesFrame) -> list[StepSeries]:
     """Rebuild the batched series from a frame (parent side), zero-copy.
 
@@ -184,7 +207,20 @@ def unpack_series(frame: SeriesFrame) -> list[StepSeries]:
     along as each series' ``hold`` so the block is reclaimed exactly
     when the last series viewing it is.  Pickle frames view the blob via
     ``np.frombuffer`` — also copy-free.
+
+    Under an active fault plan, the ``transport.frame`` site (keyed on
+    the frame's first series name — stable for a given shard layout) can
+    make the frame unavailable: the real segment is released and a
+    :class:`FrameUnavailableError` raised, exercising callers'
+    re-execution fallbacks exactly as a reaped segment would.
     """
+    injector = get_injector()
+    if injector is not None and frame.names and injector.fire(
+            "transport.frame", frame.names[0]):
+        _discard_frame(frame)
+        raise FrameUnavailableError(
+            frame.shm_name if frame.shm_name is not None else "<blob>",
+            "injected frame loss")
     total = frame.total
     hold: Optional[object] = None
     if frame.shm_name is not None:

@@ -31,9 +31,12 @@ from typing import Optional, Union
 from repro.api.run import Result
 from repro.api.spec import ExperimentSpec, spec_hash
 from repro.api.validate import validate
+from repro.service.retry import RetryPolicy
 from repro.service.store import ServiceStore
 
-#: Default polling period while blocking on a result.
+#: Default initial polling period while blocking on a result; the
+#: actual poll spacing follows a :class:`~repro.service.retry.RetryPolicy`
+#: curve seeded with this value (exponential up to its ``max_s``).
 RESULT_POLL_S = 0.1
 
 
@@ -43,6 +46,19 @@ class ServiceError(RuntimeError):
     def __init__(self, job_id: str, detail: str):
         super().__init__(f"job {job_id[:12]}: {detail}")
         self.job_id = job_id
+
+
+class JobTimeoutError(ServiceError):
+    """:meth:`ServiceClient.result` hit its deadline before a result.
+
+    A :class:`ServiceError` subclass, so existing ``except ServiceError``
+    handlers keep working; ``state`` carries the job's last observed
+    queue state (``"pending"``/``"running"``) for programmatic triage.
+    """
+
+    def __init__(self, job_id: str, detail: str, state: str = "pending"):
+        super().__init__(job_id, detail)
+        self.state = state
 
 
 @dataclass(frozen=True)
@@ -118,18 +134,28 @@ class ServiceClient:
             cached=cached)
 
     def result(self, job_id: str, timeout: Optional[float] = None,
-               poll_s: float = RESULT_POLL_S) -> Result:
+               poll_s: float = RESULT_POLL_S,
+               retry: Optional[RetryPolicy] = None) -> Result:
         """The stored result of ``job_id``.
 
         Returns immediately when the artifact exists (the
         milliseconds-for-warm-hashes path).  Otherwise blocks — polling
-        the store — until a worker publishes it, the job turns
-        terminally ``failed`` (raises with the recorded error), or
-        ``timeout`` seconds pass (raises).  ``timeout=0`` is a pure
+        the store under an exponential backoff-with-jitter curve — until
+        a worker publishes it, the job turns terminally ``failed``
+        (raises with the recorded error), or ``timeout`` seconds pass
+        (raises :class:`JobTimeoutError`).  ``timeout=0`` is a pure
         non-blocking probe.
+
+        ``retry`` overrides the polling curve; by default polls start at
+        ``poll_s`` and double up to a 2 s ceiling, jittered per job id
+        so many clients waiting on one store decorrelate.
         """
+        if retry is None:
+            retry = RetryPolicy(initial_s=poll_s,
+                                max_s=max(poll_s, 2.0))
         deadline = None if timeout is None \
             else time.monotonic() + timeout
+        attempt = 0
         while True:
             payload = self.cache.get_object(job_id)
             if payload is not None:
@@ -148,10 +174,15 @@ class ServiceClient:
                     job_id, f"execution failed after {record.attempts} "
                             f"attempt(s): {record.error}")
             if deadline is not None and time.monotonic() >= deadline:
-                raise ServiceError(
+                raise JobTimeoutError(
                     job_id, f"no result within {timeout} s (job is "
-                            f"{record.state}; are workers running?)")
-            time.sleep(poll_s)
+                            f"{record.state}; are workers running?)",
+                    state=record.state)
+            wait = retry.interval(attempt, key=job_id)
+            if deadline is not None:
+                wait = min(wait, max(deadline - time.monotonic(), 0.0))
+            time.sleep(wait)
+            attempt += 1
 
     def run(self, spec: ExperimentSpec,
             timeout: Optional[float] = None) -> Result:

@@ -1,0 +1,77 @@
+"""Deterministic exponential backoff with jitter for the service plane.
+
+One :class:`RetryPolicy` object serves both halves of the service
+protocol: :meth:`repro.service.client.ServiceClient.result` spaces its
+store polls with it (growing from milliseconds to :attr:`~RetryPolicy.max_s`
+instead of hammering a fixed interval), and
+:meth:`repro.service.worker.WorkerDaemon.run_forever` uses the same
+curve for its idle-queue polling.
+
+The jitter is *hash-derived*, not drawn from an RNG: the fraction for
+``(attempt, key)`` is a pure function of ``(seed, key, attempt)``, so
+backoff sequences — like everything else in this repository — replay
+bit-identically, while distinct keys (distinct job ids) still decorrelate
+and avoid thundering-herd polling against one store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """An exponential backoff curve: ``initial_s * factor**attempt``.
+
+    Intervals are capped at ``max_s`` and spread by ``±jitter``
+    (a fraction of the interval, deterministic per ``(key, attempt)``).
+    Frozen and hashable, so one policy instance can be shared freely
+    across clients, daemons, and threads.
+    """
+
+    initial_s: float = 0.05
+    factor: float = 2.0
+    max_s: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.initial_s <= 0:
+            raise ValueError(f"initial_s must be > 0, got {self.initial_s}")
+        if self.factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {self.factor}")
+        if self.max_s < self.initial_s:
+            raise ValueError(f"max_s must be >= initial_s, "
+                             f"got {self.max_s} < {self.initial_s}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def _unit(self, key: str, attempt: int) -> float:
+        """Deterministic variate in ``[0, 1)`` for ``(key, attempt)``."""
+        text = f"{self.seed}:{key}:a{attempt}"
+        digest = hashlib.sha256(text.encode()).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+    def interval(self, attempt: int, key: str = "") -> float:
+        """The wait before retry number ``attempt`` (0-based), jittered.
+
+        The base interval is ``min(initial_s * factor**attempt, max_s)``;
+        the returned value is spread uniformly over ``base * (1 ± jitter)``
+        as a pure function of ``(seed, key, attempt)``.
+        """
+        base = min(self.initial_s * self.factor ** attempt, self.max_s)
+        if self.jitter <= 0.0:
+            return base
+        spread = 2.0 * self._unit(key, attempt) - 1.0
+        return base * (1.0 + self.jitter * spread)
+
+
+#: The default polling curve of :meth:`ServiceClient.result`: starts at
+#: 50 ms (warm results answer on the first or second poll), doubles to a
+#: 2 s ceiling so long waits cost ~0.5 poll/s instead of 10.
+DEFAULT_RESULT_RETRY = RetryPolicy()
+
+#: The idle-queue curve of :meth:`WorkerDaemon.run_forever`: quick
+#: re-checks right after the queue drains, backing off to 2 s.
+DEFAULT_IDLE_RETRY = RetryPolicy(initial_s=0.1)

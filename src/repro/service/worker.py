@@ -43,7 +43,9 @@ from repro.api.compile import compile_fleet, shard_sub_hash
 from repro.api.run import Result, _execute, provenance_of
 from repro.api.spec import ExperimentSpec
 from repro.api.validate import validate
+from repro.faults import InjectedFault, fault_scope
 from repro.service.queue import JobQueue
+from repro.service.retry import RetryPolicy
 from repro.service.store import ServiceStore
 
 #: Idle-queue polling period of :meth:`WorkerDaemon.run_forever`.
@@ -65,9 +67,11 @@ class WorkerReport:
     ``state`` is one of ``"done"`` (executed and published),
     ``"cached"`` (the artifact already existed — completed without
     executing), ``"failed"`` (execution raised; the queue decides
-    retry vs terminal), or ``"stale"`` (executed, but the lease had
-    expired and moved — the artifact is still published, identical to
-    what the new holder will produce).
+    retry vs terminal), ``"stale"`` (executed, but the lease had
+    expired and moved — publication is skipped; the new holder
+    publishes the bit-identical artifact), or ``"aborted"`` (an
+    injected ``worker.lease`` fault abandoned the job after execution,
+    before publishing — the lease expires and the job is re-leased).
     """
 
     job_id: str
@@ -97,7 +101,17 @@ class _LeaseKeeper(threading.Thread):
 
     def run(self) -> None:
         while not self._halt.wait(self.interval):
-            if not self.queue.heartbeat(self.job_id, self.worker):
+            try:
+                beating = self.queue.heartbeat(self.job_id, self.worker)
+            except Exception:
+                # A raising heartbeat (store unreachable, corrupt lock)
+                # must not kill the thread *silently* with lost=False —
+                # that is indistinguishable from a healthy lease, and the
+                # worker would publish over an expired-lease takeover.
+                # Latch lost; the worker re-verifies before publishing.
+                self.lost = True
+                return
+            if not beating:
                 self.lost = True
                 return
 
@@ -144,31 +158,35 @@ def execute_job(spec: ExperimentSpec, cache: Optional[ResultCache] = None,
     """
     validate(spec)
     provenance = provenance_of(spec)
-    if spec.kind == "neighborhood" and cache is not None:
-        from repro.neighborhood.federation import execute_fleet
-        executor = functools.partial(
-            _checkpointed_shard, cache=cache,
-            parent=provenance.spec_hash)
-        fleet = compile_fleet(spec)
-        neighborhood = execute_fleet(
-            fleet, jobs=jobs, until=spec.until_s, mp_context=mp_context,
-            coordination=spec.fleet.coordination, spec=spec,
-            shard_size=shard_size, shard_executor=executor)
-        return Result(spec=spec, provenance=provenance,
-                      neighborhood=neighborhood)
-    if spec.kind == "grid" and cache is not None:
-        from repro.api.compile import compile_grid
-        from repro.neighborhood.grid import execute_grid
-        executor = functools.partial(
-            _checkpointed_shard, cache=cache,
-            parent=provenance.spec_hash)
-        grid = compile_grid(spec)
-        payload = execute_grid(
-            grid, jobs=jobs, until=spec.until_s, mp_context=mp_context,
-            coordination=spec.grid.coordination, spec=spec,
-            shard_size=shard_size, shard_executor=executor)
-        return Result(spec=spec, provenance=provenance, grid=payload)
-    return _execute(spec, provenance, jobs, mp_context, shard_size)
+    with fault_scope(spec.faults):
+        if spec.kind == "neighborhood" and cache is not None:
+            from repro.neighborhood.federation import execute_fleet
+            executor = functools.partial(
+                _checkpointed_shard, cache=cache,
+                parent=provenance.spec_hash)
+            fleet = compile_fleet(spec)
+            neighborhood = execute_fleet(
+                fleet, jobs=jobs, until=spec.until_s,
+                mp_context=mp_context,
+                coordination=spec.fleet.coordination, spec=spec,
+                shard_size=shard_size, shard_executor=executor,
+                forecast=spec.forecast)
+            return Result(spec=spec, provenance=provenance,
+                          neighborhood=neighborhood)
+        if spec.kind == "grid" and cache is not None:
+            from repro.api.compile import compile_grid
+            from repro.neighborhood.grid import execute_grid
+            executor = functools.partial(
+                _checkpointed_shard, cache=cache,
+                parent=provenance.spec_hash)
+            grid = compile_grid(spec)
+            payload = execute_grid(
+                grid, jobs=jobs, until=spec.until_s,
+                mp_context=mp_context,
+                coordination=spec.grid.coordination, spec=spec,
+                shard_size=shard_size, shard_executor=executor)
+            return Result(spec=spec, provenance=provenance, grid=payload)
+        return _execute(spec, provenance, jobs, mp_context, shard_size)
 
 
 class WorkerDaemon:
@@ -203,6 +221,15 @@ class WorkerDaemon:
         A job whose artifact already exists (another worker published it
         while this job waited) completes instantly without executing —
         the queue-side half of the dedup guarantee.
+
+        When the leased spec carries a fault plan, its ``worker.crash``
+        site can abort the attempt before execution (the queue retries,
+        burning one attempt) and its ``worker.lease`` site can abandon
+        the finished attempt *before publishing* (simulating a worker
+        dying between execution and publication — the lease expires and
+        the next holder re-executes from shard checkpoints).  Both are
+        keyed ``{job_id}:a{attempt}``, so the fault schedule is the
+        same whichever daemon happens to lease the attempt.
         """
         leased = self.queue.lease(self.worker_id)
         if leased is None:
@@ -212,14 +239,24 @@ class WorkerDaemon:
         if self.cache.has(job_id):
             self.queue.complete(job_id, self.worker_id)
             return WorkerReport(job_id=job_id, state="cached")
+        spec = record.spec()
+        attempt_key = f"{job_id}:a{record.attempts}"
         keeper = _LeaseKeeper(
             self.queue, job_id, self.worker_id,
             interval=self.queue.lease_ttl * HEARTBEAT_FRACTION)
         keeper.start()
+        abandon = False
         try:
-            result = execute_job(
-                record.spec(), cache=self.cache, jobs=self.jobs,
-                mp_context=self.mp_context, shard_size=self.shard_size)
+            with fault_scope(spec.faults) as injector:
+                if injector is not None and injector.fire(
+                        "worker.crash", attempt_key):
+                    raise InjectedFault("worker.crash", attempt_key)
+                result = execute_job(
+                    spec, cache=self.cache, jobs=self.jobs,
+                    mp_context=self.mp_context,
+                    shard_size=self.shard_size)
+                abandon = injector is not None and injector.fire(
+                    "worker.lease", attempt_key)
         except Exception as bad:
             keeper.stop()
             error = f"{type(bad).__name__}: {bad}"
@@ -227,11 +264,39 @@ class WorkerDaemon:
             return WorkerReport(job_id=job_id, state="failed",
                                 error=error)
         keeper.stop()
+        if abandon:
+            # Injected death between execution and publication: leave
+            # the job running with no publisher so the lease protocol
+            # (expiry -> re-lease -> checkpointed re-execution) is what
+            # completes it, exactly once.
+            return WorkerReport(job_id=job_id, state="aborted",
+                                error="injected lease abandonment "
+                                      "before publish")
+        if keeper.lost and not self._still_holds(job_id):
+            # The heartbeat thread latched a lost (or unverifiable)
+            # lease and the queue confirms it moved on: publishing now
+            # would race the takeover worker's publication.  The
+            # content-addressed artifact the new holder produces is
+            # bit-identical, so skipping is pure loss-avoidance.
+            return WorkerReport(job_id=job_id, state="stale")
         self.cache.put_object(job_id, result.portable(),
                               name=record.name, kind=record.kind)
         completed = self.queue.complete(job_id, self.worker_id)
         return WorkerReport(job_id=job_id,
                             state="done" if completed else "stale")
+
+    def _still_holds(self, job_id: str) -> bool:
+        """Re-verify this worker's lease directly against the queue.
+
+        Called when the lease keeper latched ``lost`` — which can also
+        mean the heartbeat *raised* (store hiccup) while the lease is in
+        fact still ours.  Only the queue's current lease record decides.
+        """
+        try:
+            lease = self.queue.lease_of(job_id)
+        except Exception:
+            return False
+        return lease is not None and lease.worker == self.worker_id
 
     def run_forever(self, max_jobs: Optional[int] = None,
                     idle_exit_s: Optional[float] = None,
@@ -242,13 +307,21 @@ class WorkerDaemon:
         or the queue has been idle for ``idle_exit_s`` seconds
         (``None`` = wait forever) — the knobs that make daemons usable
         in tests and CI, where "serve forever" is a hang.
+
+        Idle polling follows the same exponential backoff-with-jitter
+        curve as client result polling (``poll_s`` seeds it, capped at
+        2 s), resetting whenever work arrives — so a drained queue is
+        re-checked eagerly right after activity and cheaply thereafter.
         """
+        retry = RetryPolicy(initial_s=poll_s, max_s=max(poll_s, 2.0))
         finished = 0
+        idle_polls = 0
         idle_since: Optional[float] = None
         while True:
             report = self.step()
             if report is not None:
                 finished += 1
+                idle_polls = 0
                 idle_since = None
                 if max_jobs is not None and finished >= max_jobs:
                     return finished
@@ -258,4 +331,9 @@ class WorkerDaemon:
                 idle_since = now
             elif idle_exit_s is not None and now - idle_since >= idle_exit_s:
                 return finished
-            time.sleep(poll_s)
+            wait = retry.interval(idle_polls, key=self.worker_id)
+            if idle_exit_s is not None:
+                wait = min(wait,
+                           max(idle_since + idle_exit_s - now, 0.0))
+            time.sleep(wait)
+            idle_polls += 1

@@ -58,9 +58,33 @@ class TelemetryLog:
             for time, value in zip(times, values))
 
     def digest(self) -> str:
-        """SHA-256 over the exact event stream (ids, times, value bits)."""
+        """SHA-256 over the exact event stream (ids, times, value bits).
+
+        Arrival-order sensitive by design: it fingerprints *what the
+        plane experienced*, including delivery order — two runs whose
+        homes reported in different interleavings digest differently.
+        Use :meth:`canonical_digest` for an order-insensitive
+        fingerprint of the event multiset.
+        """
         hasher = hashlib.sha256()
         for event in self._events:
+            hasher.update(
+                repr((event.home_id, event.time, event.value)).encode())
+        return hasher.hexdigest()
+
+    def canonical_digest(self) -> str:
+        """SHA-256 over the *sorted* event multiset (order-insensitive).
+
+        Two journals holding the same samples — however shuffled or
+        delayed their arrival order was — produce the same canonical
+        digest, which is the equality the late-arrival-storm tests
+        assert: a storm permutes arrival, never content.
+        """
+        hasher = hashlib.sha256()
+        ordered = sorted(self._events,
+                         key=lambda event: (event.home_id, event.time,
+                                            event.value))
+        for event in ordered:
             hasher.update(
                 repr((event.home_id, event.time, event.value)).encode())
         return hasher.hexdigest()
@@ -68,17 +92,25 @@ class TelemetryLog:
     def replay(self) -> dict[int, StepSeries]:
         """Rebuild every home's series from the journal alone.
 
-        Events replay through :meth:`~repro.sim.monitor.StepSeries.record`
-        in journal order — the scalar path
-        :meth:`~repro.sim.monitor.StepSeries.append` is defined against —
-        so the result is bit-identical to the series the live ingestion
-        maintained: the replay contract online runs rely on.
+        Per home, events replay through
+        :meth:`~repro.sim.monitor.StepSeries.record` in *stable time
+        order* — for an in-order journal that is exactly journal order
+        (the original replay contract, bit-identical to live
+        ingestion), and for a journal whose batches arrived shuffled,
+        delayed or duplicated (a late-arrival storm) the sort restores
+        the unique time-ordered stream, so the rebuilt series are
+        bit-identical to the in-order run's.  Same-time duplicates
+        collapse exactly as :meth:`record` defines (last wins;
+        no-change records are dropped).
         """
         series: dict[int, StepSeries] = {}
+        per_home: dict[int, list[TelemetryEvent]] = {}
         for event in self._events:
-            home = series.get(event.home_id)
-            if home is None:
-                home = StepSeries(name=f"telemetry/home-{event.home_id}")
-                series[event.home_id] = home
-            home.record(event.time, event.value)
+            per_home.setdefault(event.home_id, []).append(event)
+        for home_id, events in per_home.items():
+            events.sort(key=lambda event: event.time)  # stable
+            home = StepSeries(name=f"telemetry/home-{home_id}")
+            for event in events:
+                home.record(event.time, event.value)
+            series[home_id] = home
         return series

@@ -154,6 +154,39 @@ class TelemetryIngest:
         self.stats(home_id).ingest(times, values)
         self.log.extend(home_id, times, values)
 
+    def ingest_late(self, home_id: int, times: Iterable[float],
+                    values: Iterable[float]) -> None:
+        """Fold in a batch that arrived *out of order* (late or duplicate).
+
+        The fast path (:meth:`ingest`) assumes non-decreasing time; a
+        delayed batch whose samples precede already-ingested ones would
+        be rejected there.  This path journals the batch exactly as it
+        arrived (the journal records *arrival*, late or not), then
+        rebuilds the home's series and rolling stats from its stable
+        time-sorted journal events — the same normalization
+        :meth:`repro.telemetry.log.TelemetryLog.replay` applies, so the
+        post-recovery state is bit-identical to what an on-time
+        delivery would have produced.  Duplicate batches collapse under
+        :meth:`~repro.sim.monitor.StepSeries.record` semantics.
+
+        Cost is O(home's journalled events) per late batch — the price
+        of recovery, paid only on actual late arrivals.
+        """
+        times = [float(time) for time in times]
+        values = [float(value) for value in values]
+        self.log.extend(home_id, times, values)
+        events = [event for event in self.log.events
+                  if event.home_id == home_id]
+        events.sort(key=lambda event: event.time)  # stable
+        series = StepSeries(name=f"telemetry/home-{home_id}")
+        stats = RollingStats(self.window_s, ewma_alpha=self.ewma_alpha)
+        for event in events:
+            series.record(event.time, event.value)
+        stats.ingest([event.time for event in events],
+                     [event.value for event in events])
+        self._series[home_id] = series
+        self._stats[home_id] = stats
+
     def series(self, home_id: int) -> StepSeries:
         """The home's ingested history (empty series before first batch)."""
         series = self._series.get(home_id)

@@ -86,6 +86,45 @@ def test_requests_to_csv(tmp_path, result):
     assert len(rows) == 1 + len(result.requests)
 
 
+@pytest.fixture(scope="module")
+def centralized_result():
+    return execute_config(
+        HanConfig(scenario=paper_scenario("high"), policy="centralized",
+                  cp_fidelity="round", seed=1), until=30 * MINUTE)
+
+
+def test_json_surfaces_mac_loss_counters(tmp_path, centralized_result):
+    path = run_result_to_json(centralized_result, tmp_path / "run.json")
+    payload = json.loads(path.read_text())
+    mac = payload["mac"]
+    assert mac["reports_sent"] >= mac["reports_delivered"]
+    assert mac["collection_drops"] == \
+        mac["reports_sent"] - mac["reports_delivered"]
+    assert mac["dropped_channel_busy"] >= 0
+    assert mac["dropped_no_ack"] >= 0
+    # The per-node MAC counters were folded into the run's stats too.
+    assert centralized_result.at_stats.dropped_channel_busy \
+        == mac["dropped_channel_busy"]
+
+
+def test_json_omits_mac_block_off_the_at_stack(tmp_path, result):
+    path = run_result_to_json(result, tmp_path / "run.json")
+    assert "mac" not in json.loads(path.read_text())
+
+
+def test_mac_stats_to_csv(tmp_path, centralized_result, result):
+    from repro.analysis.export import mac_stats_to_csv
+    path = mac_stats_to_csv(centralized_result, tmp_path / "mac.csv")
+    rows = list(csv.reader(path.open()))
+    assert rows[0] == ["reports_sent", "reports_delivered",
+                       "report_delivery_ratio", "collection_drops",
+                       "dropped_channel_busy", "dropped_no_ack"]
+    assert len(rows) == 2
+    assert int(rows[1][0]) == centralized_result.at_stats.reports_sent
+    with pytest.raises(ValueError, match="at_stats"):
+        mac_stats_to_csv(result, tmp_path / "none.csv")
+
+
 def test_run_result_json_derives_spec_provenance(tmp_path, result):
     """Even without an explicit spec, the export stamps provenance."""
     path = run_result_to_json(result, tmp_path / "run.json")

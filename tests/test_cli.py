@@ -370,3 +370,22 @@ def test_grid_export_json_and_csv(capsys, tmp_path):
     header = csv_target.read_text().splitlines()[0]
     assert "substation" in header
     assert "spec_hash" in header
+
+
+def test_chaos_run_command(capsys):
+    code, out = run_cli(capsys, "chaos", "run", "--homes", "4",
+                        "--horizon-min", "90", "--fault-seed", "11",
+                        "--fault-rate", "0.3")
+    assert code == 0
+    assert "fault seed" in out
+    assert "schedule digest" in out
+    assert "never-raise-peak OK" in out
+
+
+def test_chaos_run_site_specific_rates(capsys):
+    code, out = run_cli(capsys, "chaos", "run", "--homes", "4",
+                        "--horizon-min", "90", "--fault-seed", "3",
+                        "--fault-rate", "telemetry_drop=0.5",
+                        "--fault-rate", "telemetry_dup=0.2")
+    assert code == 0
+    assert "telemetry dropped" in out

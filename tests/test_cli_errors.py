@@ -129,3 +129,23 @@ def test_spec_dump_rejects_ids_plus_all(capsys, tmp_path):
 def test_unknown_spec_subcommand_exits_cleanly():
     with pytest.raises(SystemExit):
         main(["spec", "frobnicate"])
+
+
+def test_chaos_rejects_unknown_fault_site(capsys):
+    code, err = run_expecting_error(
+        capsys, "chaos", "run", "--fault-rate", "meteor_strike=0.5")
+    assert code == 2
+    assert "unknown fault site" in err
+
+
+def test_chaos_rejects_out_of_range_rate(capsys):
+    code, err = run_expecting_error(
+        capsys, "chaos", "run", "--fault-rate", "1.5")
+    assert code == 2
+
+
+def test_chaos_rejects_non_numeric_rate(capsys):
+    code, err = run_expecting_error(
+        capsys, "chaos", "run", "--fault-rate", "lots")
+    assert code == 2
+    assert "must be a number" in err

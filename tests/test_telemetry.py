@@ -301,3 +301,107 @@ def test_log_events_view_is_immutable_snapshot():
     assert len(events) == 2
     assert len(log.events) == 3
     assert isinstance(log.events, tuple)
+
+
+# -- late-arrival storms (ROADMAP item 2 leftover) --------------------------
+#
+# A storm permutes *arrival*, never content: batches of one journal are
+# shuffled across homes, delivered epochs late, or journalled twice.
+# The locks: replay() rebuilds the same series as the in-order run bit
+# for bit, canonical_digest() is blind to arrival order, and
+# TelemetryIngest.ingest_late restores live state identical to an
+# on-time delivery.
+
+
+def epoch_batches(homes=(0, 1, 7), seed=51, batches=5):
+    """Per-home per-epoch batches, times strictly increasing per home."""
+    out = []
+    for home in homes:
+        times, values = random_stream(seed + home, n=batches * 8)
+        size = len(times) // batches
+        for index in range(batches):
+            lo, hi = index * size, (index + 1) * size
+            if index == batches - 1:
+                hi = len(times)
+            out.append((home, times[lo:hi], values[lo:hi]))
+    return out
+
+
+def series_state(series):
+    return (tuple(series.times), tuple(series.values))
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_replay_of_shuffled_journal_matches_in_order(seed):
+    batches = epoch_batches()
+    in_order = TelemetryLog()
+    for home, times, values in batches:
+        in_order.extend(home, times, values)
+    stormed = TelemetryLog()
+    shuffled = list(batches)
+    np.random.default_rng(seed).shuffle(shuffled)
+    for home, times, values in shuffled:
+        stormed.extend(home, times, values)
+    # Same sample multiset: canonical digests agree even though the
+    # arrival-order digests (almost surely) do not.
+    assert stormed.canonical_digest() == in_order.canonical_digest()
+    clean, recovered = in_order.replay(), stormed.replay()
+    assert set(recovered) == set(clean)
+    for home in clean:
+        assert series_state(recovered[home]) == series_state(clean[home])
+
+
+def test_replay_collapses_duplicated_batches(seed=7):
+    batches = epoch_batches(seed=60)
+    in_order = TelemetryLog()
+    stormed = TelemetryLog()
+    rng = np.random.default_rng(seed)
+    for home, times, values in batches:
+        in_order.extend(home, times, values)
+        stormed.extend(home, times, values)
+        if rng.random() < 0.5:  # duplicate storm: journalled twice
+            stormed.extend(home, times, values)
+    assert len(stormed) > len(in_order)
+    clean, recovered = in_order.replay(), stormed.replay()
+    for home in clean:
+        assert series_state(recovered[home]) == series_state(clean[home])
+
+
+def test_canonical_digest_still_fingerprints_content():
+    log = TelemetryLog()
+    log.extend(0, [0.0, 1.0], [10.0, 20.0])
+    other = TelemetryLog()
+    other.extend(0, [0.0, 1.0], [10.0, 20.5])
+    assert log.canonical_digest() != other.canonical_digest()
+
+
+@pytest.mark.parametrize("seed", [0, 5])
+def test_ingest_late_restores_on_time_state_bit_identically(seed):
+    batches = epoch_batches(seed=70 + seed)
+    on_time = TelemetryIngest(window_s=60.0)
+    for home, times, values in batches:
+        on_time.ingest(home, times, values)
+    stormy = TelemetryIngest(window_s=60.0)
+    rng = np.random.default_rng(seed)
+    held = []
+    for home, times, values in batches:
+        if rng.random() < 0.4:
+            held.append((home, times, values))
+        else:
+            stormy.ingest(home, times, values)
+    assert held, "storm must actually delay something"
+    for home, times, values in held:  # late deliveries, out of order
+        stormy.ingest_late(home, times, values)
+    for home in {batch[0] for batch in batches}:
+        assert series_state(stormy.series(home)) \
+            == series_state(on_time.series(home))
+        late, clean = stormy.stats(home), on_time.stats(home)
+        assert (late.now, late.current, late.mean, late.peak,
+                late.ewma) == (clean.now, clean.current, clean.mean,
+                               clean.peak, clean.ewma)
+    # Journal content is the same multiset; only arrival order differs.
+    assert stormy.log.canonical_digest() == on_time.log.canonical_digest()
+    # And the stormy journal replays to the same series too.
+    clean_replay = on_time.log.replay()
+    for home, series in stormy.log.replay().items():
+        assert series_state(series) == series_state(clean_replay[home])

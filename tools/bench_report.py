@@ -64,6 +64,7 @@ GROUP_FILES: dict[str, tuple[str, ...]] = {
     "grid": ("benchmarks/test_bench_grid.py",),
     "service": ("benchmarks/test_bench_service.py",),
     "online": ("benchmarks/test_bench_online.py",),
+    "faults": ("benchmarks/test_bench_faults.py",),
 }
 
 

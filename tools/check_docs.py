@@ -50,6 +50,8 @@ API_MODULES = [
     "repro.core.coordinator",
     "repro.core.scheduler",
     "repro.experiments.pool",
+    "repro.faults.inject",
+    "repro.faults.plan",
     "repro.forecast.forecasters",
     "repro.experiments.runner",
     "repro.neighborhood.aggregate",
@@ -62,6 +64,7 @@ API_MODULES = [
     "repro.neighborhood.transport",
     "repro.service.client",
     "repro.service.queue",
+    "repro.service.retry",
     "repro.service.server",
     "repro.service.store",
     "repro.service.worker",
